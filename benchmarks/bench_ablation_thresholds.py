@@ -1,0 +1,97 @@
+"""Ablation: the operational-intensity thresholds (paper Section V-G).
+
+DUFP classifies phases with three empirical OI thresholds: memory vs
+CPU at 1, *highly* memory below 0.02 (cap drops freely), *highly* CPU
+above 100 (violations reset instead of stepping).  The paper itself
+flags these as architecture-agnostic approximations.  This bench probes
+their contribution:
+
+* removing the highly-memory fast path slows the descent on CG's setup
+  phase (less savings there);
+* removing the highly-CPU reset makes HPL recover by 5 W steps instead
+  of a reset, so violations linger longer.
+"""
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+from conftest import assert_shape
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+
+def _run(app_name: str, cfg: ControllerConfig, seed=31):
+    app = build_application(app_name)
+    default = run_application(app, DefaultController, noise=QUIET, seed=seed)
+    dufp = run_application(
+        app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+    slowdown = 100.0 * (dufp.execution_time_s / default.execution_time_s - 1.0)
+    savings = 100.0 * (1.0 - dufp.avg_package_power_w / default.avg_package_power_w)
+    return slowdown, savings
+
+
+def test_highly_memory_fast_path(benchmark):
+    def sweep():
+        base = _run("CG", ControllerConfig(tolerated_slowdown=0.0))
+        # Threshold so low the fast path never fires.
+        no_fast = _run(
+            "CG", ControllerConfig(tolerated_slowdown=0.0, oi_highly_memory=1e-6)
+        )
+        return base, no_fast
+
+    (s_base, p_base), (s_off, p_off) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print(f"\nCG @0%: fast path {p_base:+.2f} % saved vs disabled {p_off:+.2f} %")
+    assert_shape(
+        p_base >= p_off - 0.2,
+        "the OI<0.02 fast path contributes savings at 0 % tolerance",
+    )
+
+
+def test_highly_cpu_reset(benchmark):
+    def sweep():
+        base = _run("HPL", ControllerConfig(tolerated_slowdown=0.10))
+        # Threshold so high the reset never fires: violations recover
+        # by single 5 W steps.
+        no_reset = _run(
+            "HPL", ControllerConfig(tolerated_slowdown=0.10, oi_highly_cpu=1e9)
+        )
+        return base, no_reset
+
+    (s_base, p_base), (s_off, p_off) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print(
+        f"\nHPL @10%: with reset {s_base:+.2f} % slow / {p_base:+.2f} % saved; "
+        f"without {s_off:+.2f} % / {p_off:+.2f} %"
+    )
+    assert_shape(
+        s_base <= s_off + 1.0,
+        "the highly-CPU reset protects HPL's performance",
+    )
+
+
+def test_memory_boundary_placement(benchmark):
+    def sweep():
+        base = _run("UA", ControllerConfig(tolerated_slowdown=0.05))
+        # Boundary at 20: UA's compute iterations (OI 8) now count as
+        # memory, so the regime switch is never detected.
+        blind = _run(
+            "UA",
+            ControllerConfig(
+                tolerated_slowdown=0.05, oi_memory_boundary=20.0, oi_highly_cpu=100.0
+            ),
+        )
+        return base, blind
+
+    (s_base, _), (s_blind, _) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nUA @5%: boundary@1 {s_base:+.2f} % slow vs boundary@20 {s_blind:+.2f} %")
+    assert_shape(
+        s_blind >= s_base - 0.5,
+        "mis-placing the memory/CPU boundary cannot improve UA",
+    )

@@ -1,0 +1,64 @@
+"""Extension bench: node-level budget distribution (GEOPM-style).
+
+The paper positions budget distribution as the complementary layer
+above node-level DUFP (§VI) and asks, as future work, how to share a
+budget between consumers with different needs.  The bench runs the
+heterogeneous-node scenario (memory-bound CG + compute-bound EP under
+one budget) and checks the coordinator's value proposition:
+
+* the instantaneous node budget is respected;
+* the compute-bound socket — which pays for every watt it loses — runs
+  faster than under a naive equal split of the same budget.
+"""
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import StaticPowerCap
+from repro.core.budget import NodeBudgetCoordinator
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+from conftest import assert_shape
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+BUDGET_W = 190.0
+
+
+def _scenario():
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    apps = [build_application("CG"), build_application("EP")]
+    coord = NodeBudgetCoordinator(
+        total_budget_w=BUDGET_W, cfg=cfg, per_socket_floor_w=80.0
+    )
+    coordinated = run_application(
+        apps, coord.socket_controller, controller_cfg=cfg, noise=QUIET, seed=9
+    )
+    equal = run_application(
+        apps,
+        lambda: StaticPowerCap(BUDGET_W / 2),
+        controller_cfg=cfg,
+        noise=QUIET,
+        seed=9,
+    )
+    return coord, coordinated, equal
+
+
+def test_budget_sharing(benchmark):
+    coord, coordinated, equal = benchmark.pedantic(
+        _scenario, rounds=1, iterations=1
+    )
+    final = coord.history[-1][1]
+    ep_coord = coordinated.sockets[1].finish_time_s
+    ep_equal = equal.sockets[1].finish_time_s
+    print(
+        f"\nbudget {BUDGET_W:.0f} W: final allocation CG {final[0]:.0f} W / "
+        f"EP {final[1]:.0f} W; EP finishes {ep_coord:.1f} s coordinated vs "
+        f"{ep_equal:.1f} s equal-split"
+    )
+    assert_shape(final[1] > final[0], "the compute socket gets the bigger share")
+    assert_shape(
+        ep_coord < ep_equal, "the compute socket is protected vs equal split"
+    )
+    for _, alloc in coord.history:
+        assert_shape(
+            sum(alloc) <= BUDGET_W + 1e-6, "allocations respect the node budget"
+        )

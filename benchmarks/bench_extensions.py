@@ -1,0 +1,79 @@
+"""Extension bench: DUFPF (direct CPU frequency management).
+
+The paper's future work: "better handling CPU frequency under power
+capping, instead of relying on power capping to change the CPU
+frequency may improve even more both performance and power
+consumption" (Section V-G).  DUFPF implements it; the bench measures
+where the hypothesis holds on this substrate:
+
+* on compute-dominated workloads (EP) the fine-grained, latch-free
+  P-state ceiling spends the slowdown budget that DUFP's cap path
+  cannot (its highly-CPU rule resets on every violation) — clearly
+  more savings at compliant slowdown;
+* on memory-bound workloads the serialized two-knob descent trades a
+  few points of savings for tighter tolerance compliance.
+"""
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.core.extensions import DUFPF
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+from conftest import assert_shape
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+
+def _compare(app_name: str, tol: float = 0.10, seed=51):
+    cfg = ControllerConfig(tolerated_slowdown=tol)
+    app = build_application(app_name)
+    default = run_application(app, DefaultController, noise=QUIET, seed=seed)
+
+    def pct(result):
+        slow = 100.0 * (result.execution_time_s / default.execution_time_s - 1.0)
+        save = 100.0 * (
+            1.0 - result.avg_package_power_w / default.avg_package_power_w
+        )
+        return slow, save
+
+    dufp = run_application(
+        app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+    dufpf = run_application(
+        app, lambda: DUFPF(cfg), controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+    return pct(dufp), pct(dufpf)
+
+
+def test_dufpf_improves_compute_bound_ep(benchmark):
+    (dufp_slow, dufp_save), (dufpf_slow, dufpf_save) = benchmark.pedantic(
+        _compare, args=("EP",), rounds=1, iterations=1
+    )
+    print(
+        f"\nEP @10%: DUFP {dufp_slow:+.2f} % / {dufp_save:+.2f} %; "
+        f"DUFPF {dufpf_slow:+.2f} % / {dufpf_save:+.2f} %"
+    )
+    assert_shape(
+        dufpf_save > dufp_save + 3.0,
+        "direct frequency control beats cap-mediated control on EP",
+    )
+    assert_shape(dufpf_slow < 10.0 + 2.0, "DUFPF stays within tolerance on EP")
+
+
+def test_dufpf_compliance_on_memory_bound(benchmark):
+    def sweep():
+        return {app: _compare(app) for app in ("CG", "MG", "LAMMPS")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for app, ((dufp_slow, dufp_save), (dufpf_slow, dufpf_save)) in results.items():
+        print(
+            f"\n{app} @10%: DUFP {dufp_slow:+.2f} % / {dufp_save:+.2f} %; "
+            f"DUFPF {dufpf_slow:+.2f} % / {dufpf_save:+.2f} %"
+        )
+        assert_shape(
+            dufpf_slow <= dufp_slow + 1.0,
+            f"DUFPF is at least as compliant as DUFP on {app}",
+        )
+        assert_shape(dufpf_save > 0.0, f"DUFPF still saves power on {app}")

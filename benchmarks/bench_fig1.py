@@ -1,0 +1,69 @@
+"""Figure 1: the motivating experiment — static capping of CG.
+
+Shape claims (paper, Section II-A):
+
+* 1a — whole-run caps save power roughly in proportion to the cap
+  (110 W → ~16 %, 100 W → ~24 % of the budget) but cost real time
+  (~7 % and ~12 %);
+* 1b — the same caps applied only to the initial memory phase cut that
+  phase's power by ~16–19 %;
+* 1c — those phase-local caps do not change total execution time.
+"""
+
+from repro.experiments.fig1 import fig1a, fig1b, fig1c
+
+from conftest import BENCH_RUNS, assert_shape
+
+
+def test_fig1a(benchmark):
+    result = benchmark.pedantic(
+        fig1a, kwargs={"runs": BENCH_RUNS}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    default_power = result.row("default").power_pct_of_budget
+    assert_shape(default_power > 90.0, "1a: default CG runs near the budget")
+    r110, r100 = result.row("ufs+110W"), result.row("ufs+100W")
+    assert_shape(
+        default_power - r110.power_pct_of_budget > 8.0,
+        "1a: the 110 W cap saves >8 % of the budget (paper ~16 %)",
+    )
+    assert_shape(
+        default_power - r100.power_pct_of_budget > 15.0,
+        "1a: the 100 W cap saves >15 % of the budget (paper ~24 %)",
+    )
+    assert_shape(
+        3.0 < r110.time_pct_of_default - 100.0 < 11.0,
+        "1a: the 110 W cap costs ~7 % time",
+    )
+    assert_shape(
+        8.0 < r100.time_pct_of_default - 100.0 < 17.0,
+        "1a: the 100 W cap costs ~12 % time",
+    )
+
+
+def test_fig1b(benchmark):
+    result = benchmark.pedantic(
+        fig1b, kwargs={"runs": BENCH_RUNS}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    default_power = result.row("default").power_pct_of_budget
+    assert_shape(
+        default_power - result.row("ufs+110W").power_pct_of_budget > 5.0,
+        "1b: capping the memory phase at 110 W cuts its power (paper ~16 %)",
+    )
+    assert_shape(
+        default_power - result.row("ufs+100W").power_pct_of_budget > 12.0,
+        "1b: capping the memory phase at 100 W cuts its power (paper ~19 %)",
+    )
+
+
+def test_fig1c(benchmark):
+    result = benchmark.pedantic(
+        fig1c, kwargs={"runs": BENCH_RUNS}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    for label in ("ufs+110W", "ufs+100W"):
+        assert_shape(
+            abs(result.row(label).time_pct_of_default - 100.0) < 1.0,
+            f"1c: phase-local cap {label} leaves total time unchanged",
+        )

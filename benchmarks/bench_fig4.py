@@ -1,0 +1,40 @@
+"""Figure 4: DUFP impact on DRAM power.
+
+Shape claims: savings for most configurations, the best on CG at 20 %
+(paper 8.83 %); losses, where they appear, are sub-percent (paper: MG
+at 0 % loses 0.81 %).
+"""
+
+from repro.experiments.fig4 import fig4
+
+from conftest import assert_shape
+
+
+def test_fig4(benchmark, sweep):
+    panel = benchmark.pedantic(
+        fig4, kwargs={"sweep": sweep}, rounds=1, iterations=1
+    )
+    print("\n" + panel.render())
+    # Most configurations save (or at least do not lose) DRAM power.
+    losing = [
+        (app, tol)
+        for app in sweep.apps
+        for tol in sweep.tolerances_pct
+        if panel.get(app, "dufp", tol).mean < -1.0
+    ]
+    assert_shape(not losing, f"4: no meaningful DRAM power losses (got {losing})")
+    # CG posts the best DRAM savings at 20 % (paper 8.83 %).
+    cg20 = panel.get("CG", "dufp", 20.0).mean
+    assert_shape(cg20 > 4.0, "4: CG@20 has strong DRAM savings (paper 8.83 %)")
+    best = max(
+        panel.get(app, "dufp", 20.0).mean for app in sweep.apps
+    )
+    assert_shape(cg20 >= best - 2.0, "4: CG is among the best DRAM savers at 20 %")
+    # DUFP outperforms DUF on DRAM power for most configurations.
+    better = sum(
+        1
+        for app in sweep.apps
+        for tol in sweep.tolerances_pct
+        if panel.get(app, "dufp", tol).mean >= panel.get(app, "duf", tol).mean - 0.3
+    )
+    assert_shape(better >= 30, f"4: DUFP >= DUF on DRAM power mostly ({better}/40)")

@@ -1,0 +1,60 @@
+"""Microbenchmarks: simulator throughput.
+
+These time the substrate itself (steps/second, full-run wall time) so
+regressions in the hot path — the per-step roofline + RAPL loop — are
+visible.  Unlike the figure benches these use pytest-benchmark's
+statistical timing (many rounds of a cheap operation).
+"""
+
+from repro.config import ControllerConfig, NoiseConfig, yeti_socket_config
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.hardware.processor import PhaseWork, SimulatedProcessor
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+WORK = PhaseWork(flops=1e12, bytes=1e12, fpc=2.0)
+
+
+def test_processor_step_throughput(benchmark):
+    proc = SimulatedProcessor(yeti_socket_config())
+
+    def hundred_steps():
+        for _ in range(100):
+            proc.step(0.01, WORK)
+
+    benchmark(hundred_steps)
+
+
+def test_rapl_enforcement_step(benchmark):
+    proc = SimulatedProcessor(yeti_socket_config())
+    proc.rapl.set_limits(100.0, 100.0)
+
+    def hundred_capped_steps():
+        for _ in range(100):
+            proc.step(0.01, WORK)
+
+    benchmark(hundred_capped_steps)
+
+
+def test_full_cg_run_default(benchmark):
+    app = build_application("CG", scale=0.3)
+    benchmark.pedantic(
+        lambda: run_application(app, DefaultController, noise=QUIET, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_full_cg_run_dufp(benchmark):
+    app = build_application("CG", scale=0.3)
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+
+    benchmark.pedantic(
+        lambda: run_application(
+            app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=1
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,109 @@
+"""Substrate-feature benches: AVX licenses and thermals (opt-in models).
+
+Neither feature is part of the paper's evaluation (both default off),
+but each closes a loop the paper opens:
+
+* **AVX frequency licenses** — wide-vector code self-derates the turbo
+  on real Skylake-SP.  With the license enabled, HPL's DGEMM updates
+  run at the AVX clock, its default power drops, and DUFP's remaining
+  savings shrink accordingly: a capping runtime has less to harvest
+  from a workload the silicon already slowed.
+* **Thermals** — §II-B grounds capping in cooling limits.  With an
+  undersized cooler, the default run PROCHOT-throttles; under DUFP's
+  cap the package stays below the trip entirely — power capping as
+  thermal management.
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    ControllerConfig,
+    MachineConfig,
+    NoiseConfig,
+    ThermalConfig,
+    yeti_socket_config,
+)
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.sim.machine import SimulatedMachine
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+from conftest import assert_shape
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+
+def _run(app_name, factory, socket, cfg, seed=61):
+    machine = SimulatedMachine(MachineConfig(socket=socket, socket_count=1))
+    return run_application(
+        build_application(app_name, socket=socket),
+        factory,
+        controller_cfg=cfg,
+        machine=machine,
+        noise=QUIET,
+        seed=seed,
+    )
+
+
+def test_avx_license_shrinks_dufp_headroom(benchmark):
+    def scenario():
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        plain = yeti_socket_config()
+        licensed = replace(
+            plain, core=replace(plain.core, avx_license_fpc=16.0)
+        )
+        out = {}
+        for label, socket in (("plain", plain), ("licensed", licensed)):
+            default = _run("HPL", DefaultController, socket, cfg)
+            dufp = _run("HPL", lambda: DUFP(cfg), socket, cfg)
+            out[label] = (
+                default.avg_package_power_w,
+                1 - dufp.avg_package_power_w / default.avg_package_power_w,
+                dufp.execution_time_s / default.execution_time_s - 1,
+            )
+        return out
+
+    out = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    (p_plain, s_plain, _), (p_lic, s_lic, slow_lic) = out["plain"], out["licensed"]
+    print(
+        f"\nHPL default power: plain {p_plain:.1f} W vs licensed {p_lic:.1f} W; "
+        f"DUFP savings: {100 * s_plain:.2f} % vs {100 * s_lic:.2f} %"
+    )
+    assert_shape(
+        p_lic < p_plain - 5.0, "the AVX license lowers HPL's default power"
+    )
+    assert_shape(
+        slow_lic < 0.10 + 0.02,
+        "DUFP still respects the tolerance on the derated workload",
+    )
+    assert_shape(s_lic > 0.0, "DUFP still finds savings under the license")
+
+
+def test_capping_doubles_as_thermal_management(benchmark):
+    def scenario():
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        # An undersized cooler: sustained default power would trip.
+        hot = replace(
+            yeti_socket_config(),
+            thermal=ThermalConfig(r_thermal_c_per_w=0.55, tau_s=4.0),
+        )
+        default = _run("EP", DefaultController, hot, cfg)
+        dufp = _run("EP", lambda: DUFP(cfg), hot, cfg)
+
+        def peak_temp(run):
+            return max(
+                s.temperature_c
+                for s in run.socket(0).trace
+                if s.temperature_c is not None
+            )
+
+        return peak_temp(default), peak_temp(dufp)
+
+    t_default, t_dufp = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print(f"\npeak package temperature: default {t_default:.1f} C vs DUFP {t_dufp:.1f} C")
+    assert_shape(
+        t_dufp < t_default - 3.0,
+        "DUFP's power savings translate into thermal headroom",
+    )
+    assert_shape(t_dufp < 96.0, "DUFP keeps the package below the PROCHOT trip")

@@ -1,0 +1,17 @@
+"""Table I: architecture characteristics of the simulated machine."""
+
+from repro.experiments.table1 import table1
+
+from conftest import assert_shape
+
+
+def test_table1(benchmark):
+    result = benchmark(table1)
+    print("\n" + result.render())
+    assert_shape(result.cores == 64, "Table I: 64 cores")
+    assert_shape(
+        (result.uncore_min_ghz, result.uncore_max_ghz) == (1.2, 2.4),
+        "Table I: uncore range 1.2-2.4 GHz",
+    )
+    assert_shape(result.long_term_w == 125.0, "Table I: PL1 = 125 W")
+    assert_shape(result.short_term_w == 150.0, "Table I: PL2 = 150 W")

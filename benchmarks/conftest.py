@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+The evaluation sweep behind Figures 3 and 4 is expensive (10 apps × 2
+controllers × 4 tolerances × N runs), so it executes once per session
+and the per-figure benchmarks time their projection over it while
+asserting the paper's shape claims.
+
+``REPRO_BENCH_RUNS`` overrides the runs-per-configuration (default 10,
+the paper's protocol; set 2–3 for a quick pass).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.sweep import run_sweep
+
+#: Runs per configuration for every benchmark in the suite.
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The full evaluation sweep (all apps, all tolerances)."""
+    return run_sweep(runs=BENCH_RUNS)
+
+
+def assert_shape(condition: bool, claim: str) -> None:
+    """Readable shape-claim assertions for the reproduction benches."""
+    assert condition, f"paper-shape claim failed: {claim}"

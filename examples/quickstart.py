@@ -1,0 +1,62 @@
+"""Quickstart: run CG under DUFP and compare with the default run.
+
+Usage::
+
+    python examples/quickstart.py [tolerated_slowdown_pct]
+
+This is the smallest end-to-end use of the library: build one of the
+paper's applications, run it on the simulated Skylake-SP socket under
+the default configuration and under DUFP, and report the slowdown,
+power savings and energy impact — the three quantities Figure 3 plots.
+"""
+
+import sys
+
+from repro import (
+    ControllerConfig,
+    DefaultController,
+    DUFP,
+    build_application,
+    run_application,
+)
+
+
+def main() -> None:
+    tolerance_pct = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    cfg = ControllerConfig(tolerated_slowdown=tolerance_pct / 100.0)
+    app = build_application("CG")
+
+    print(f"Application : {app.name} ({len(app.phases)} phases)")
+    print(f"Structure   : {app.structure}")
+    print(f"Tolerance   : {tolerance_pct:.0f} % tolerated slowdown\n")
+
+    default = run_application(app, DefaultController, seed=1)
+    dufp = run_application(app, lambda: DUFP(cfg), controller_cfg=cfg, seed=1)
+
+    slowdown = 100.0 * (dufp.execution_time_s / default.execution_time_s - 1.0)
+    power_savings = 100.0 * (
+        1.0 - dufp.avg_package_power_w / default.avg_package_power_w
+    )
+    energy_savings = 100.0 * (1.0 - dufp.total_energy_j / default.total_energy_j)
+
+    print(f"{'':>12s}  {'default':>10s}  {'dufp':>10s}")
+    print(
+        f"{'time (s)':>12s}  {default.execution_time_s:10.2f}  "
+        f"{dufp.execution_time_s:10.2f}"
+    )
+    print(
+        f"{'power (W)':>12s}  {default.avg_package_power_w:10.1f}  "
+        f"{dufp.avg_package_power_w:10.1f}"
+    )
+    print(
+        f"{'energy (kJ)':>12s}  {default.total_energy_j / 1e3:10.2f}  "
+        f"{dufp.total_energy_j / 1e3:10.2f}"
+    )
+    print()
+    print(f"slowdown      : {slowdown:+.2f} % (tolerated: {tolerance_pct:.0f} %)")
+    print(f"power savings : {power_savings:+.2f} %")
+    print(f"energy savings: {energy_savings:+.2f} %")
+
+
+if __name__ == "__main__":
+    main()

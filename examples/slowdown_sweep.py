@@ -1,0 +1,45 @@
+"""Sweep tolerated slowdowns across applications (Figure 3 in miniature).
+
+Runs DUF and DUFP at the paper's four tolerances on a subset of the
+applications (3 runs per configuration instead of 10, for speed) and
+prints the slowdown / power / energy table.
+
+Usage::
+
+    python examples/slowdown_sweep.py [APP[,APP...]] [runs]
+"""
+
+import sys
+
+from repro.experiments.sweep import run_sweep
+
+
+def main() -> None:
+    apps = sys.argv[1].split(",") if len(sys.argv) > 1 else ["CG", "EP", "HPL"]
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    print(f"Sweeping {', '.join(apps)} at 0/5/10/20 % ({runs} runs each)…\n")
+    sweep = run_sweep(apps=apps, runs=runs)
+
+    header = (
+        f"{'app':8s} {'tol%':>5s} | {'ctrl':5s} {'slowdown%':>10s} "
+        f"{'power sav%':>11s} {'energy sav%':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for app in sweep.apps:
+        for tol in sweep.tolerances_pct:
+            for ctrl in ("duf", "dufp"):
+                c = sweep.get(app, ctrl, tol)
+                print(
+                    f"{app:8s} {tol:5.0f} | {ctrl:5s} "
+                    f"{c.slowdown_pct.mean:10.2f} "
+                    f"{c.package_savings_pct.mean:11.2f} "
+                    f"{c.energy_savings_pct.mean:12.2f}"
+                )
+    within, total = sweep.respected_count("dufp")
+    print(f"\nDUFP respected the tolerance in {within}/{total} configurations")
+
+
+if __name__ == "__main__":
+    main()

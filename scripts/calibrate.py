@@ -1,0 +1,17 @@
+"""Calibration harness: quick sweep printed against the paper's targets."""
+import sys, time
+from repro.experiments.sweep import run_sweep
+
+apps = sys.argv[1].split(",") if len(sys.argv) > 1 else None
+runs = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+t0 = time.time()
+sw = run_sweep(apps=apps, runs=runs)
+print(f"sweep wall time: {time.time()-t0:.1f}s")
+print(f"{'app':7s} {'tol':>4s} | {'DUF slow':>8s} {'P':>6s} {'DRAM':>6s} {'E':>6s} | {'DUFP slow':>9s} {'P':>6s} {'DRAM':>6s} {'E':>6s}")
+for app in sw.apps:
+    for tol in sw.tolerances_pct:
+        d = sw.get(app, "duf", tol); p = sw.get(app, "dufp", tol)
+        print(f"{app:7s} {tol:4.0f} | {d.slowdown_pct.mean:8.2f} {d.package_savings_pct.mean:6.2f} {d.dram_savings_pct.mean:6.2f} {d.energy_savings_pct.mean:6.2f} | "
+              f"{p.slowdown_pct.mean:9.2f} {p.package_savings_pct.mean:6.2f} {p.dram_savings_pct.mean:6.2f} {p.energy_savings_pct.mean:6.2f}")
+w, t = sw.respected_count("dufp")
+print(f"DUFP respected tolerance: {w}/{t}")

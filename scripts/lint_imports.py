@@ -1,0 +1,96 @@
+"""Minimal unused-import linter (no external dependencies).
+
+Walks the AST of every Python file under the given roots and reports
+imported names never referenced in the module.  ``__init__.py`` re-
+exports are exempt when the name appears in ``__all__``.
+
+Usage: python scripts/lint_imports.py [root ...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def imported_names(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                yield name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield (alias.asname or alias.name), node.lineno
+
+
+def used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+    return used
+
+
+def exported(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        for elt in node.value.elts:
+                            if isinstance(elt, ast.Constant):
+                                names.add(str(elt.value))
+    return names
+
+
+def string_annotations(tree: ast.Module) -> set[str]:
+    """Names referenced inside string annotations (forward refs)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        ann = getattr(node, "annotation", None)
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            for token in ann.value.replace("[", " ").replace("]", " ").split():
+                names.add(token.strip("\"'| ,"))
+    return names
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    used = used_names(tree) | exported(tree) | string_annotations(tree)
+    problems = []
+    for name, lineno in imported_names(tree):
+        if name == "annotations":  # from __future__ import annotations
+            continue
+        if "noqa" in lines[lineno - 1]:
+            continue
+        if name not in used and not name.startswith("_"):
+            problems.append(f"{path}:{lineno}: unused import {name!r}")
+    return problems
+
+
+def main(roots: list[str]) -> int:
+    problems: list[str] = []
+    for root in roots or ["src"]:
+        for path in sorted(Path(root).rglob("*.py")):
+            problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"{len(problems)} unused imports")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,80 @@
+"""repro — reproduction of *Combining Uncore Frequency and Dynamic Power
+Capping to Improve Power Savings* (Amina Guermouche, IPDPSW 2022).
+
+The package provides:
+
+* a simulated Skylake-SP substrate (:mod:`repro.hardware`) with RAPL
+  power capping, uncore frequency scaling, DVFS and roofline execution;
+* user-space views of that hardware (:mod:`repro.interfaces`) and a
+  PAPI-style measurement layer (:mod:`repro.papi`);
+* phase-level models of the paper's ten applications
+  (:mod:`repro.workloads`);
+* the DUF and DUFP controllers plus baselines (:mod:`repro.core`);
+* a co-simulation engine (:mod:`repro.sim`) and the experiment
+  harnesses that regenerate every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_application, DUFP, ControllerConfig, build_application
+
+    app = build_application("CG")
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    result = run_application(app, lambda: DUFP(cfg), controller_cfg=cfg)
+    print(result.execution_time_s, result.avg_package_power_w)
+"""
+
+from .config import (
+    ControllerConfig,
+    EngineConfig,
+    MachineConfig,
+    NoiseConfig,
+    SocketConfig,
+    with_slowdown,
+    yeti_machine_config,
+    yeti_socket_config,
+)
+from .core import (
+    DNPCLike,
+    DUF,
+    DUFP,
+    Controller,
+    DefaultController,
+    StaticPowerCap,
+    StaticUncore,
+    TimeWindowCap,
+)
+from .errors import ReproError
+from .sim import RunResult, SimulatedMachine, run_application, yeti_machine
+from .workloads import Application, Phase, application_names, build_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ControllerConfig",
+    "EngineConfig",
+    "MachineConfig",
+    "NoiseConfig",
+    "SocketConfig",
+    "with_slowdown",
+    "yeti_machine_config",
+    "yeti_socket_config",
+    "DUF",
+    "DUFP",
+    "DNPCLike",
+    "Controller",
+    "DefaultController",
+    "StaticPowerCap",
+    "StaticUncore",
+    "TimeWindowCap",
+    "ReproError",
+    "RunResult",
+    "SimulatedMachine",
+    "run_application",
+    "yeti_machine",
+    "Application",
+    "Phase",
+    "application_names",
+    "build_application",
+]

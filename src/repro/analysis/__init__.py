@@ -1,0 +1,20 @@
+"""Statistics and reporting helpers shared by the experiment harnesses."""
+
+from .stats import (
+    trimmed_mean_drop_extremes,
+    ErrorBar,
+    error_bar,
+    percent_ratio_series,
+)
+from .tables import format_table
+from .series import resample_series, time_weighted_average
+
+__all__ = [
+    "trimmed_mean_drop_extremes",
+    "ErrorBar",
+    "error_bar",
+    "percent_ratio_series",
+    "format_table",
+    "resample_series",
+    "time_weighted_average",
+]

@@ -1,0 +1,107 @@
+"""ASCII plotting: grouped bars and sparklines for terminal reports.
+
+The paper's figures are grouped bar charts (per-app clusters, one bar
+per tolerance) and a line plot (Fig. 5).  These renderers produce the
+same shapes in plain text so ``python -m repro fig3b`` output can be
+eyeballed against the paper directly, without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline"]
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A left-aligned bar for ``value`` at ``scale`` units per cell."""
+    cells = max(value, 0.0) / scale if scale > 0 else 0.0
+    cells = min(cells, float(width))
+    full = int(cells)
+    frac = int(round((cells - full) * 8))
+    if frac == 8:
+        full, frac = full + 1, 0
+    text = "█" * full + (_BLOCKS[frac] if frac else "")
+    return text.ljust(width)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "%",
+    title: str | None = None,
+) -> str:
+    """Horizontal bars, one per labelled value (negatives marked)."""
+    if not values:
+        raise ExperimentError("nothing to plot")
+    label_w = max(len(k) for k in values)
+    peak = max((abs(v) for v in values.values()), default=0.0)
+    scale = peak / width if peak > 0 else 1.0
+    lines = [title] if title else []
+    for label, v in values.items():
+        bar = _bar(abs(v), scale, width)
+        sign = "-" if v < 0 else " "
+        lines.append(f"{label.rjust(label_w)} |{sign}{bar}| {v:+.2f} {unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 30,
+    unit: str = "%",
+    title: str | None = None,
+) -> str:
+    """Per-group clusters with one bar per series (the paper's Fig. 3 form).
+
+    ``series`` maps a series label (e.g. ``"dufp @10%"``) to its value
+    per group (e.g. per application).
+    """
+    if not groups or not series:
+        raise ExperimentError("nothing to plot")
+    series_w = max(len(s) for s in series)
+    peak = max(
+        (abs(v) for per_group in series.values() for v in per_group.values()),
+        default=0.0,
+    )
+    scale = peak / width if peak > 0 else 1.0
+    lines = [title] if title else []
+    for group in groups:
+        lines.append(f"{group}")
+        for label, per_group in series.items():
+            if group not in per_group:
+                continue
+            v = per_group[group]
+            sign = "-" if v < 0 else " "
+            lines.append(
+                f"  {label.rjust(series_w)} |{sign}{_bar(abs(v), scale, width)}| "
+                f"{v:+.2f} {unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+    """One-line trace rendering (Fig. 5-style), 8 vertical levels."""
+    if not values:
+        raise ExperimentError("nothing to plot")
+    vmin = lo if lo is not None else min(values)
+    vmax = hi if hi is not None else max(values)
+    if not (math.isfinite(vmin) and math.isfinite(vmax)):
+        raise ExperimentError("non-finite plot bounds")
+    span = vmax - vmin
+    out = []
+    for v in values:
+        if span <= 0:
+            level = 4
+        else:
+            level = int(round((min(max(v, vmin), vmax) - vmin) / span * 7))
+        out.append(_BLOCKS[level + 1])
+    return "".join(out)

@@ -1,0 +1,61 @@
+"""Time-series helpers for traces (Fig. 5-style outputs)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["resample_series", "time_weighted_average"]
+
+
+def resample_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    interval_s: float,
+) -> tuple[list[float], list[float]]:
+    """Downsample a step series onto a regular grid (sample-and-hold).
+
+    ``times`` are the *end* times of each step sample, ascending.
+    Returns grid times and the value holding at each grid point.
+    """
+    if len(times) != len(values):
+        raise ExperimentError("times/values length mismatch")
+    if not times:
+        raise ExperimentError("empty series")
+    if interval_s <= 0:
+        raise ExperimentError("interval must be positive")
+    grid_times: list[float] = []
+    grid_values: list[float] = []
+    t = interval_s
+    idx = 0
+    end = times[-1]
+    while t <= end + 1e-12:
+        while idx < len(times) - 1 and times[idx] < t:
+            idx += 1
+        grid_times.append(t)
+        grid_values.append(values[idx])
+        t += interval_s
+    return grid_times, grid_values
+
+
+def time_weighted_average(
+    times: Sequence[float], values: Sequence[float]
+) -> float:
+    """Average of a step series weighted by step durations.
+
+    ``times`` are step end times starting after 0; the first step spans
+    ``[0, times[0]]``.
+    """
+    if len(times) != len(values) or not times:
+        raise ExperimentError("invalid series")
+    total = 0.0
+    prev = 0.0
+    for t, v in zip(times, values):
+        if t < prev:
+            raise ExperimentError("times must be ascending")
+        total += v * (t - prev)
+        prev = t
+    if prev <= 0:
+        raise ExperimentError("series spans no time")
+    return total / prev

@@ -1,0 +1,92 @@
+"""The paper's measurement statistics.
+
+Section V: "We performed 10 runs of each experiment.  To mitigate
+outliers, we removed the lowest and highest execution times and
+returned the average over the remaining 8 executions."  Error bars show
+the minimum and maximum observed values over the kept runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "trimmed_mean_drop_extremes",
+    "ErrorBar",
+    "error_bar",
+    "percent_ratio_series",
+    "keep_indices_drop_extremes",
+]
+
+
+def keep_indices_drop_extremes(values: Sequence[float]) -> list[int]:
+    """Indices kept after dropping one minimum and one maximum.
+
+    With fewer than three values nothing is dropped (degenerate runs in
+    tests).  Ties drop exactly one instance each, like sorting would.
+    """
+    n = len(values)
+    if n == 0:
+        raise ExperimentError("no values to trim")
+    if n < 3:
+        return list(range(n))
+    lo = min(range(n), key=lambda i: values[i])
+    hi = max(
+        (i for i in range(n) if i != lo), key=lambda i: values[i]
+    )
+    return [i for i in range(n) if i not in (lo, hi)]
+
+
+def trimmed_mean_drop_extremes(values: Sequence[float]) -> float:
+    """Mean after dropping the single lowest and highest value."""
+    kept = keep_indices_drop_extremes(values)
+    return math.fsum(values[i] for i in kept) / len(kept)
+
+
+@dataclass(frozen=True)
+class ErrorBar:
+    """A mean with min/max bounds over the kept runs."""
+
+    mean: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.mean <= self.high:
+            raise ExperimentError(
+                f"inconsistent error bar: {self.low} <= {self.mean} <= {self.high}"
+            )
+
+    @property
+    def spread(self) -> float:
+        return self.high - self.low
+
+
+def error_bar(values: Sequence[float], keep: Sequence[int] | None = None) -> ErrorBar:
+    """Mean/min/max over ``values`` restricted to ``keep`` indices.
+
+    The paper trims by *execution time* and then reports every metric
+    over the same kept runs, so callers pass the keep-set derived from
+    the times.
+    """
+    if keep is None:
+        keep = keep_indices_drop_extremes(values)
+    if not keep:
+        raise ExperimentError("empty keep set")
+    kept = [values[i] for i in keep]
+    return ErrorBar(
+        mean=math.fsum(kept) / len(kept), low=min(kept), high=max(kept)
+    )
+
+
+def percent_ratio_series(
+    values: Sequence[float], reference: float
+) -> list[float]:
+    """Each value as a percentage of ``reference`` (the paper's y-axes)."""
+    if reference <= 0:
+        raise ExperimentError("reference must be positive")
+    return [100.0 * v / reference for v in values]

@@ -1,0 +1,45 @@
+"""Fixed-width ASCII tables for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width table with a header rule."""
+    if not headers:
+        raise ExperimentError("table needs headers")
+    cells: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        cells.append(
+            [
+                float_fmt.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[c].rjust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)

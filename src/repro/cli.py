@@ -1,0 +1,191 @@
+"""Command-line interface: regenerate any table/figure or run one app.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig3b --runs 3
+    python -m repro run CG --controller dufp --slowdown 10
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import ControllerConfig
+from .core.baselines import DefaultController, StaticPowerCap
+from .core.duf import DUF
+from .core.dufp import DUFP
+from .core.extensions import DUFPF
+from .errors import ReproError
+from .experiments.registry import experiment_ids, run_experiment
+from .sim.export import write_summary_json, write_trace_csv
+from .sim.run import run_application
+from .workloads.catalog import application_names, build_application
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (one subcommand per experiment)."""
+    from . import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Combining Uncore Frequency and Dynamic "
+            "Power Capping to Improve Power Savings' (IPDPSW 2022)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    for exp_id in experiment_ids():
+        p = sub.add_parser(exp_id, help=f"regenerate experiment {exp_id}")
+        p.add_argument(
+            "--runs",
+            type=int,
+            default=10,
+            help="runs per configuration (paper protocol: 10)",
+        )
+
+    p_list = sub.add_parser("list", help="list applications and experiments")
+
+    p_export = sub.add_parser(
+        "export", help="regenerate every table/figure into a directory"
+    )
+    p_export.add_argument("--out", default="results", help="output directory")
+    p_export.add_argument("--runs", type=int, default=10)
+
+    p_hetero = sub.add_parser(
+        "hetero", help="CPU+GPU shared-budget demo (paper §VII future work)"
+    )
+    p_hetero.add_argument("--budget", type=float, default=300.0)
+    p_hetero.add_argument("--slowdown", type=float, default=10.0)
+
+    p_run = sub.add_parser("run", help="run one application once")
+    p_run.add_argument("app", help=f"one of: {', '.join(application_names())}")
+    p_run.add_argument(
+        "--controller",
+        choices=("default", "duf", "dufp", "dufpf", "static"),
+        default="dufp",
+    )
+    p_run.add_argument(
+        "--slowdown",
+        type=float,
+        default=5.0,
+        help="tolerated slowdown, percent (default 5)",
+    )
+    p_run.add_argument(
+        "--cap",
+        type=float,
+        default=110.0,
+        help="static power cap in watts (with --controller static)",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--trace-csv",
+        metavar="PATH",
+        help="write the socket-0 trace (10 ms samples) to a CSV file",
+    )
+    p_run.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        help="write the run summary (times, energies, phases) to JSON",
+    )
+    _ = p_list
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> str:
+    cfg = ControllerConfig(tolerated_slowdown=args.slowdown / 100.0)
+    factories = {
+        "default": DefaultController,
+        "duf": lambda: DUF(cfg),
+        "dufp": lambda: DUFP(cfg),
+        "dufpf": lambda: DUFPF(cfg),
+        "static": lambda: StaticPowerCap(args.cap),
+    }
+    app = build_application(args.app)
+    result = run_application(
+        app, factories[args.controller], controller_cfg=cfg, seed=args.seed
+    )
+    if args.trace_csv:
+        rows = write_trace_csv(result, args.trace_csv)
+        print(f"wrote {rows} trace rows to {args.trace_csv}")
+    if args.summary_json:
+        write_summary_json(result, args.summary_json)
+        print(f"wrote summary to {args.summary_json}")
+    sock = result.socket(0)
+    lines = [
+        f"application        : {result.app_name}",
+        f"controller         : {result.controller_name}",
+        f"execution time     : {result.execution_time_s:.2f} s",
+        f"avg package power  : {result.avg_package_power_w:.1f} W",
+        f"avg DRAM power     : {result.avg_dram_power_w:.1f} W",
+        f"CPU+DRAM energy    : {result.total_energy_j / 1e3:.2f} kJ",
+        f"avg core frequency : {sock.average_core_freq_hz() / 1e9:.2f} GHz",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        if args.command == "list":
+            print("applications:", ", ".join(application_names()))
+            print("experiments :", ", ".join(experiment_ids()))
+        elif args.command == "run":
+            print(_run_single(args))
+        elif args.command == "export":
+            from .experiments.export_all import export_all
+
+            manifest = export_all(args.out, runs=args.runs)
+            print(f"wrote {len(manifest.files)} files to {manifest.out_dir}/")
+        elif args.command == "hetero":
+            print(_run_hetero(args))
+        else:
+            print(run_experiment(args.command, runs=args.runs))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_hetero(args: argparse.Namespace) -> str:
+    from .hardware.gpu import GPUKernel
+    from .sim.hetero import HeteroEngine
+
+    cfg = ControllerConfig(tolerated_slowdown=args.slowdown / 100.0)
+    app = build_application("CG", scale=0.5)
+    kernels = [
+        GPUKernel(f"dgemm[{i}]", flops=6e12, bytes=6e12 / 8.0) for i in range(8)
+    ]
+    lines = [f"shared budget {args.budget:.0f} W, tolerance {args.slowdown:.0f} %"]
+    for coordinated in (False, True):
+        result = HeteroEngine(
+            application=app,
+            kernels=kernels,
+            total_budget_w=args.budget,
+            cfg=cfg,
+            coordinated=coordinated,
+        ).run()
+        _, cpu_w, gpu_w = result.allocations[-1]
+        label = "coordinated" if coordinated else "static 50/50"
+        lines.append(
+            f"  {label:13s} CPU {result.cpu_finish_s:6.2f} s  "
+            f"GPU {result.gpu_finish_s:6.2f} s  split {cpu_w:.0f}/{gpu_w:.0f} W"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,411 @@
+"""Configuration dataclasses for the simulated machine and controllers.
+
+All tunable model constants live here, grouped by subsystem, so the whole
+simulation can be calibrated from one place.  The defaults describe one
+socket of ``yeti-2`` from the paper's testbed (Intel Xeon Gold 6130,
+Skylake-SP): 16 cores, uncore 1.2–2.4 GHz, RAPL PL1 = 125 W /
+PL2 = 150 W, all-core turbo 2.8 GHz.
+
+Calibration anchors (paper, Section IV/V):
+
+* default package power of a bandwidth-saturating run sits "almost at the
+  maximum processor budget" (≈ 120 W of the 125 W PL1);
+* dropping the uncore from 2.4 GHz to 1.2 GHz on a compute-only workload
+  (EP) recovers on the order of 15–20 W;
+* power caps below ≈ 65 W begin to throttle memory bandwidth, which is
+  why the paper floors the dynamic cap at 65 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .units import ghz, mhz
+
+__all__ = [
+    "CoreConfig",
+    "ThermalConfig",
+    "UncoreConfig",
+    "RAPLConfig",
+    "PowerModelConfig",
+    "MemoryConfig",
+    "SocketConfig",
+    "MachineConfig",
+    "ControllerConfig",
+    "NoiseConfig",
+    "EngineConfig",
+    "yeti_socket_config",
+    "yeti_machine_config",
+]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core clock domain: P-states and the voltage/frequency curve."""
+
+    count: int = 16
+    min_freq_hz: float = ghz(1.0)
+    base_freq_hz: float = ghz(2.1)
+    #: Maximum sustained all-core turbo; the paper's Fig. 5 caption notes
+    #: 2.8 GHz is the maximum achieved with all 16 cores active.
+    max_freq_hz: float = ghz(2.8)
+    step_hz: float = mhz(100)
+    #: Voltage at ``min_freq_hz`` (volts).  Skylake-SP cores floor
+    #: around 0.8 V — deep power caps therefore save less than a naive
+    #: V ∝ f model predicts, which is what turns 20 %-tolerance runs
+    #: into net energy losses in the paper.
+    v_min: float = 0.80
+    #: Voltage at ``max_freq_hz`` (volts); linear in between.
+    v_max: float = 1.02
+    #: AVX frequency licenses (opt-in): phases achieving at least this
+    #: many FLOPs/cycle/core run under the derated turbo below.  Real
+    #: Skylake-SP drops to its AVX-512 license frequency under wide
+    #: vector code; the paper's runs do not isolate the effect, so the
+    #: default (``inf``) disables it to keep the calibration intact.
+    avx_license_fpc: float = float("inf")
+    #: All-core turbo while an AVX license is active, Hz.
+    avx_max_freq_hz: float = ghz(2.4)
+
+    def validate(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError("CoreConfig.count must be positive")
+        if not (0 < self.min_freq_hz <= self.base_freq_hz <= self.max_freq_hz):
+            raise ConfigurationError(
+                "CoreConfig frequencies must satisfy 0 < min <= base <= max"
+            )
+        if self.step_hz <= 0:
+            raise ConfigurationError("CoreConfig.step_hz must be positive")
+        if not (0 < self.v_min <= self.v_max):
+            raise ConfigurationError("CoreConfig voltages must satisfy 0 < v_min <= v_max")
+        if self.avx_license_fpc <= 0:
+            raise ConfigurationError("CoreConfig.avx_license_fpc must be positive")
+        if not self.min_freq_hz <= self.avx_max_freq_hz <= self.max_freq_hz:
+            raise ConfigurationError(
+                "CoreConfig.avx_max_freq_hz must lie within [min_freq, max_freq]"
+            )
+
+    def voltage_at(self, freq_hz: float) -> float:
+        """Linear V/f curve between ``(min_freq, v_min)`` and ``(max_freq, v_max)``."""
+        if self.max_freq_hz == self.min_freq_hz:
+            return self.v_max
+        t = (freq_hz - self.min_freq_hz) / (self.max_freq_hz - self.min_freq_hz)
+        t = min(max(t, 0.0), 1.0)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class UncoreConfig:
+    """Uncore clock domain (LLC, mesh, memory controllers)."""
+
+    min_freq_hz: float = ghz(1.2)
+    max_freq_hz: float = ghz(2.4)
+    step_hz: float = mhz(100)
+    #: Voltage at the uncore minimum / maximum frequency.
+    v_min: float = 0.70
+    v_max: float = 0.95
+
+    def validate(self) -> None:
+        if not (0 < self.min_freq_hz <= self.max_freq_hz):
+            raise ConfigurationError("UncoreConfig frequencies must satisfy 0 < min <= max")
+        if self.step_hz <= 0:
+            raise ConfigurationError("UncoreConfig.step_hz must be positive")
+
+    def voltage_at(self, freq_hz: float) -> float:
+        if self.max_freq_hz == self.min_freq_hz:
+            return self.v_max
+        t = (freq_hz - self.min_freq_hz) / (self.max_freq_hz - self.min_freq_hz)
+        t = min(max(t, 0.0), 1.0)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class RAPLConfig:
+    """RAPL package-domain limits and counter characteristics."""
+
+    #: Default long-term (PL1) power limit, watts.
+    pl1_default_w: float = 125.0
+    #: Default short-term (PL2) power limit, watts.
+    pl2_default_w: float = 150.0
+    #: Default PL1 averaging window, seconds (Skylake-SP ships ~1 s).
+    pl1_window_s: float = 1.0
+    #: Default PL2 averaging window, seconds.
+    pl2_window_s: float = 0.01
+    #: RAPL energy-counter resolution, joules (2**-14 J on server parts).
+    energy_unit_j: float = 2.0**-14
+    #: RAPL power unit, watts (1/8 W).
+    power_unit_w: float = 0.125
+    #: Energy counter width in bits; the register wraps at 2**width units.
+    counter_bits: int = 32
+    #: Latency before a newly written limit takes effect, seconds.  The
+    #: paper observes "some time is needed to apply a new power cap"; the
+    #: simulator reproduces the one-interval lag this induces.
+    actuation_delay_s: float = 0.004
+    #: Hard lower bound accepted by the hardware for either limit, watts.
+    min_limit_w: float = 40.0
+
+    def validate(self) -> None:
+        if not (0 < self.pl1_default_w <= self.pl2_default_w):
+            raise ConfigurationError("RAPLConfig requires 0 < PL1 <= PL2")
+        if self.pl1_window_s <= 0 or self.pl2_window_s <= 0:
+            raise ConfigurationError("RAPLConfig windows must be positive")
+        if self.counter_bits not in (32, 64):
+            raise ConfigurationError("RAPLConfig.counter_bits must be 32 or 64")
+        if self.min_limit_w <= 0 or self.min_limit_w > self.pl1_default_w:
+            raise ConfigurationError("RAPLConfig.min_limit_w out of range")
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Package power model coefficients.
+
+    ``P_pkg = static + Σ_cores k_core · V(f)² · f · (a0 + a1·activity)
+             + k_uncore · Vu(fu)² · fu · (u0 + u1·traffic)``
+
+    ``activity`` is the fraction of cycles the core retires work (1.0 for
+    a compute-saturated phase); ``traffic`` is memory-bandwidth
+    utilisation of the uncore.  ``a0``/``u0`` capture clock-tree and idle
+    switching power that flows even when the unit is stalled.
+    """
+
+    #: Leakage + always-on logic, watts per socket.
+    static_w: float = 16.0
+    #: Core dynamic coefficient, watts per (GHz · V²) per core.
+    k_core: float = 1.55
+    #: Fraction of core dynamic power present even when fully stalled.
+    #: High on Skylake under the performance governor: a stalled core
+    #: still clocks, speculates and spins in the load/store queues.
+    core_idle_fraction: float = 0.80
+    #: Uncore dynamic coefficient, watts per (GHz · V²).
+    k_uncore: float = 17.0
+    #: Fraction of uncore dynamic power present with zero traffic.
+    #: High: the mesh and LLC clock tree burn most of their power just
+    #: by toggling, which is why idle-traffic workloads (EP) gain the
+    #: most from uncore scaling.
+    uncore_idle_fraction: float = 0.75
+
+    def validate(self) -> None:
+        if self.static_w < 0 or self.k_core <= 0 or self.k_uncore <= 0:
+            raise ConfigurationError("PowerModelConfig coefficients out of range")
+        for name in ("core_idle_fraction", "uncore_idle_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"PowerModelConfig.{name} must be in [0,1]")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM subsystem: bandwidth roofline and DRAM power."""
+
+    #: Saturated socket bandwidth with uncore at max, bytes/s.
+    peak_bw_bytes: float = 105e9
+    #: Bandwidth delivered per Hz of uncore clock below saturation,
+    #: bytes/s per Hz (the mesh/memory-controller limit).
+    bw_per_uncore_hz: float = 52.0
+    #: Bandwidth each core can request per Hz of core clock, bytes/s per
+    #: Hz per core.  At the core-frequency floor (1.0 GHz) 16 cores can
+    #: just barely keep the channels saturated; power caps deep enough
+    #: to need even lower frequencies cannot be honoured, which is why
+    #: caps below ~65 W stop being useful — the paper's floor.
+    bw_per_core_hz: float = 6.6
+    #: DRAM background (refresh + idle) power per socket, watts.
+    dram_static_w: float = 14.0
+    #: DRAM energy per byte transferred, joules/byte (~0.15 W per GB/s).
+    dram_energy_per_byte: float = 0.15e-9
+
+    def validate(self) -> None:
+        if self.peak_bw_bytes <= 0 or self.bw_per_uncore_hz <= 0:
+            raise ConfigurationError("MemoryConfig bandwidth parameters must be positive")
+        if self.bw_per_core_hz <= 0:
+            raise ConfigurationError("MemoryConfig.bw_per_core_hz must be positive")
+        if self.dram_static_w < 0 or self.dram_energy_per_byte < 0:
+            raise ConfigurationError("MemoryConfig power parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Package thermal characteristics (see :mod:`repro.hardware.thermal`).
+
+    With the defaults, sustained TDP (125 W) settles ≈ 84 °C, below the
+    96 °C PROCHOT trip — the guarantee the paper's §II-B describes TDP
+    encoding.  ``None`` in :class:`SocketConfig` disables the model.
+    """
+
+    #: Junction-to-ambient thermal resistance, °C per watt.
+    r_thermal_c_per_w: float = 0.35
+    #: Thermal time constant, seconds (package + heatsink mass).
+    tau_s: float = 8.0
+    #: Inlet/ambient temperature, °C.
+    ambient_c: float = 40.0
+    #: PROCHOT trip point (Tj,max), °C.
+    t_prochot_c: float = 96.0
+    #: Frequency clamp applied while PROCHOT is asserted, Hz.
+    prochot_freq_hz: float = 1.2e9
+    #: Hysteresis: PROCHOT deasserts this many °C below the trip.
+    hysteresis_c: float = 3.0
+
+    def validate(self) -> None:
+        if self.r_thermal_c_per_w <= 0 or self.tau_s <= 0:
+            raise ConfigurationError("thermal resistance and tau must be positive")
+        if not 0 < self.ambient_c < self.t_prochot_c:
+            raise ConfigurationError("need 0 < ambient < prochot temperature")
+        if self.prochot_freq_hz <= 0:
+            raise ConfigurationError("prochot frequency must be positive")
+        if self.hysteresis_c < 0:
+            raise ConfigurationError("hysteresis must be non-negative")
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Settled package temperature at sustained ``power_w``."""
+        if power_w < 0:
+            raise ConfigurationError("negative power")
+        return self.ambient_c + power_w * self.r_thermal_c_per_w
+
+    @property
+    def max_dissipation_w(self) -> float:
+        """The sustained power whose steady state sits at the PROCHOT trip.
+
+        The cooling solution's true limit; it exceeds the 125 W TDP by
+        the designed safety margin (TDP guarantees operation *below*
+        the trip, per the paper's §II-B definition).
+        """
+        return (self.t_prochot_c - self.ambient_c) / self.r_thermal_c_per_w
+
+
+@dataclass(frozen=True)
+class SocketConfig:
+    """One processor socket: clocks, power model, memory, RAPL, thermals."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    uncore: UncoreConfig = field(default_factory=UncoreConfig)
+    rapl: RAPLConfig = field(default_factory=RAPLConfig)
+    power: PowerModelConfig = field(default_factory=PowerModelConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    thermal: ThermalConfig | None = None
+
+    def validate(self) -> None:
+        self.core.validate()
+        self.uncore.validate()
+        self.rapl.validate()
+        self.power.validate()
+        self.memory.validate()
+        if self.thermal is not None:
+            self.thermal.validate()
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A multi-socket machine built from identical sockets."""
+
+    socket: SocketConfig = field(default_factory=SocketConfig)
+    socket_count: int = 4
+    name: str = "yeti-2"
+
+    def validate(self) -> None:
+        if self.socket_count <= 0:
+            raise ConfigurationError("MachineConfig.socket_count must be positive")
+        self.socket.validate()
+
+    @property
+    def total_cores(self) -> int:
+        return self.socket_count * self.socket.core.count
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Shared DUF/DUFP controller parameters (paper Sections III–IV)."""
+
+    #: Tolerated slowdown as a fraction (0.05 == 5 %).
+    tolerated_slowdown: float = 0.05
+    #: Controller tick, seconds (paper: 200 ms).
+    interval_s: float = 0.200
+    #: Relative measurement-error band within which FLOPS/s are treated
+    #: as "equivalent to the slowdown" and the actuators hold steady.
+    measurement_error: float = 0.01
+    #: Power-cap actuator step, watts (paper: 5 W).
+    cap_step_w: float = 5.0
+    #: Dynamic power-cap floor, watts (paper: 65 W).
+    cap_floor_w: float = 65.0
+    #: Uncore actuator step, hertz (paper: 100 MHz).
+    uncore_step_hz: float = mhz(100)
+    #: Operational-intensity boundary between memory- and CPU-intensive.
+    oi_memory_boundary: float = 1.0
+    #: OI below which a phase counts as *highly* memory-intensive and the
+    #: cap may be lowered regardless of FLOPS/s (paper: 0.02).
+    oi_highly_memory: float = 0.02
+    #: OI above which a phase counts as *highly* CPU-intensive and any
+    #: violation resets the cap (paper: 100).
+    oi_highly_cpu: float = 100.0
+    #: FLOPS/s growth factor within a phase that is treated as a phase
+    #: change (paper: FLOPS/s double).
+    phase_flops_jump: float = 2.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.tolerated_slowdown < 1.0:
+            raise ConfigurationError("tolerated_slowdown must be in [0, 1)")
+        if self.interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if not 0.0 <= self.measurement_error < 0.5:
+            raise ConfigurationError("measurement_error must be in [0, 0.5)")
+        if self.cap_step_w <= 0 or self.cap_floor_w <= 0:
+            raise ConfigurationError("cap step/floor must be positive")
+        if self.uncore_step_hz <= 0:
+            raise ConfigurationError("uncore_step_hz must be positive")
+        if not (0 < self.oi_highly_memory < self.oi_memory_boundary < self.oi_highly_cpu):
+            raise ConfigurationError(
+                "OI thresholds must satisfy 0 < highly_memory < boundary < highly_cpu"
+            )
+        if self.phase_flops_jump <= 1.0:
+            raise ConfigurationError("phase_flops_jump must exceed 1.0")
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Run-to-run and measurement noise (drives the paper's error bars)."""
+
+    #: Std-dev of the multiplicative phase-duration jitter per run.
+    duration_jitter: float = 0.004
+    #: Std-dev of multiplicative noise on each counter read.
+    counter_noise: float = 0.002
+    #: Std-dev of multiplicative noise on each energy/power read.
+    power_noise: float = 0.003
+    #: Master seed; each run derives a child seed from it.
+    seed: int = 20220509
+
+    def validate(self) -> None:
+        for name in ("duration_jitter", "counter_noise", "power_noise"):
+            v = getattr(self, name)
+            if not 0.0 <= v < 0.2:
+                raise ConfigurationError(f"NoiseConfig.{name} must be in [0, 0.2)")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Simulation-engine resolution."""
+
+    #: Macro time step, seconds.  Must divide the controller interval.
+    dt_s: float = 0.010
+    #: Safety limit on simulated time per run, seconds.
+    max_sim_time_s: float = 3600.0
+
+    def validate(self) -> None:
+        if self.dt_s <= 0:
+            raise ConfigurationError("EngineConfig.dt_s must be positive")
+        if self.max_sim_time_s <= 0:
+            raise ConfigurationError("EngineConfig.max_sim_time_s must be positive")
+
+
+def yeti_socket_config() -> SocketConfig:
+    """One socket of yeti-2 (Intel Xeon Gold 6130) as described in Table I."""
+    return SocketConfig()
+
+
+def yeti_machine_config(socket_count: int = 4) -> MachineConfig:
+    """The yeti-2 node: four Xeon Gold 6130 sockets, 64 cores total."""
+    cfg = MachineConfig(socket=yeti_socket_config(), socket_count=socket_count)
+    cfg.validate()
+    return cfg
+
+
+def with_slowdown(cfg: ControllerConfig, slowdown_pct: float) -> ControllerConfig:
+    """Copy ``cfg`` with the tolerated slowdown set from a percentage."""
+    return replace(cfg, tolerated_slowdown=slowdown_pct / 100.0)

@@ -1,0 +1,50 @@
+"""The paper's contribution: DUF, DUFP and the baseline controllers.
+
+:class:`~repro.core.dufp.DUFP` is the reproduction target — a runtime
+that combines DUF's dynamic uncore frequency scaling with dynamic RAPL
+power capping, both driven by per-interval FLOPS/s, memory bandwidth
+and operational intensity, under a user-defined tolerated slowdown.
+"""
+
+from .tolerance import SlowdownTracker, ToleranceVerdict
+from .detector import PhaseDetector, OIClass, classify_oi
+from .capping import CapActuator
+from .uncore_actuator import UncoreActuator
+from .duf import DUF
+from .dufp import DUFP
+from .extensions import DUFPF, AdaptiveIntervalDUFP
+from .budget import NodeBudgetCoordinator, BudgetedSocketController, allocate_budget
+from .baselines import (
+    Controller,
+    DefaultController,
+    StaticPowerCap,
+    StaticUncore,
+    DNPCLike,
+    TimeWindowCap,
+)
+from .runtime import SocketContext, ControllerRuntime
+
+__all__ = [
+    "SlowdownTracker",
+    "ToleranceVerdict",
+    "PhaseDetector",
+    "OIClass",
+    "classify_oi",
+    "CapActuator",
+    "UncoreActuator",
+    "DUF",
+    "DUFP",
+    "DUFPF",
+    "AdaptiveIntervalDUFP",
+    "NodeBudgetCoordinator",
+    "BudgetedSocketController",
+    "allocate_budget",
+    "Controller",
+    "DefaultController",
+    "StaticPowerCap",
+    "StaticUncore",
+    "DNPCLike",
+    "TimeWindowCap",
+    "SocketContext",
+    "ControllerRuntime",
+]

@@ -1,0 +1,59 @@
+"""Controller protocol shared by DUF, DUFP and the baselines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..papi.highlevel import Measurement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import SocketContext
+
+__all__ = ["Controller", "TickLog"]
+
+
+@dataclass
+class TickLog:
+    """What a controller did on one tick, for traces and tests."""
+
+    time_s: float
+    cap_w: float
+    uncore_hz: float
+    phase_change: bool = False
+    cap_action: str = "hold"  # hold | decrease | increase | reset
+    uncore_action: str = "hold"
+
+
+class Controller(abc.ABC):
+    """A per-socket runtime attached to the measurement/actuation stack.
+
+    Lifecycle: the runtime calls :meth:`attach` once with the socket's
+    context (meter, actuators, sysfs views), then :meth:`tick` every
+    ``interval_s`` of simulated time with the interval's measurement.
+    """
+
+    #: Human-readable controller name (used in experiment labels).
+    name: str = "controller"
+
+    def __init__(self) -> None:
+        self.ticks: list[TickLog] = []
+        self._ctx: "SocketContext | None" = None
+
+    @property
+    def ctx(self) -> "SocketContext":
+        if self._ctx is None:
+            raise RuntimeError(f"{self.name}: tick before attach")
+        return self._ctx
+
+    def attach(self, ctx: "SocketContext") -> None:
+        """Bind to a socket; override to program initial actuator state."""
+        self._ctx = ctx
+
+    @abc.abstractmethod
+    def tick(self, now_s: float, m: Measurement) -> None:
+        """One control interval with its measurement."""
+
+    def log(self, entry: TickLog) -> None:
+        self.ticks.append(entry)

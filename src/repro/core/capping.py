@@ -1,0 +1,114 @@
+"""The power-cap actuator: DUFP's constraint-handling rules.
+
+DUFP treats the two RAPL constraints asymmetrically (paper, §III):
+
+* on a **decrease**, both constraints are set to the same (new, lower)
+  value — the short-term burst allowance is removed so the average
+  cannot hide above the cap;
+* on an **increase**, the cap rises by one step with the constraints
+  still tied; if the long-term constraint reaches its default value the
+  cap is **reset** instead, restoring both constraints to their
+  defaults (PL1 125 W / PL2 150 W on the testbed);
+* one tick after a reset, if consumption is already below the cap, the
+  short-term constraint is pulled down to the long-term value.
+
+All writes go through the powercap zone (microwatt units), the same
+interface the real tool uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ControllerConfig
+from ..errors import ControllerError
+from ..interfaces.powercap import PowercapZone
+from ..units import watts_to_uw
+
+__all__ = ["CapActuator"]
+
+
+@dataclass
+class CapActuator:
+    """Stepped control of one socket's package power cap."""
+
+    zone: PowercapZone
+    cfg: ControllerConfig
+    #: Set after a reset; consumed by :meth:`after_reset_tighten`.
+    just_reset: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        self.cfg.validate()
+        if self.zone.domain != "package":
+            raise ControllerError("cap actuator needs the package zone")
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def cap_w(self) -> float:
+        """The long-term constraint (what "the power cap" means)."""
+        return self.zone.rapl.pl1.limit_w
+
+    @property
+    def short_term_w(self) -> float:
+        return self.zone.rapl.pl2.limit_w
+
+    @property
+    def default_cap_w(self) -> float:
+        return self.zone.rapl.cfg.pl1_default_w
+
+    @property
+    def at_default(self) -> bool:
+        return self.cap_w >= self.default_cap_w
+
+    @property
+    def at_floor(self) -> bool:
+        return self.cap_w <= self.cfg.cap_floor_w
+
+    # -- actions -----------------------------------------------------------------
+
+    def decrease(self) -> bool:
+        """Lower the cap one step (floored); ties both constraints.
+
+        Returns ``False`` if already at the floor.
+        """
+        if self.at_floor:
+            return False
+        new_w = max(self.cap_w - self.cfg.cap_step_w, self.cfg.cap_floor_w)
+        self.zone.set_both_limits_uw(watts_to_uw(new_w), watts_to_uw(new_w))
+        self.just_reset = False
+        return True
+
+    def increase(self) -> bool:
+        """Raise the cap one step, resetting if it reaches the default.
+
+        Returns ``False`` if the cap was already at its default.
+        """
+        if self.at_default:
+            return False
+        new_w = self.cap_w + self.cfg.cap_step_w
+        if new_w >= self.default_cap_w:
+            self.reset()
+        else:
+            self.zone.set_both_limits_uw(watts_to_uw(new_w), watts_to_uw(new_w))
+            self.just_reset = False
+        return True
+
+    def reset(self) -> None:
+        """Restore both constraints to their architecture defaults."""
+        self.zone.reset()
+        self.just_reset = True
+
+    def after_reset_tighten(self, package_power_w: float) -> bool:
+        """The tick after a reset: tie PL2 to PL1 if power already fits.
+
+        Returns ``True`` if the short-term constraint was tightened.
+        """
+        if not self.just_reset:
+            return False
+        self.just_reset = False
+        if package_power_w < self.cap_w:
+            cap_uw = watts_to_uw(self.cap_w)
+            self.zone.set_both_limits_uw(cap_uw, cap_uw)
+            return True
+        return False

@@ -1,0 +1,95 @@
+"""Phase-change detection from operational intensity and FLOPS/s.
+
+The paper treats as a phase change "any important variation in the
+behavior of the applications": a switch between CPU- and
+memory-intensive regimes (operational intensity crossing 1), or the
+FLOPS/s doubling within the same regime.  Intensity classes follow the
+paper's empirical thresholds: OI < 0.02 is *highly* memory-intensive,
+OI > 100 is *highly* CPU-intensive.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..config import ControllerConfig
+from ..errors import ControllerError
+
+__all__ = ["OIClass", "classify_oi", "PhaseDetector"]
+
+
+class OIClass(enum.Enum):
+    """The paper's empirical operational-intensity buckets."""
+
+    HIGHLY_MEMORY = "highly_memory"
+    MEMORY = "memory"
+    CPU = "cpu"
+    HIGHLY_CPU = "highly_cpu"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OIClass.HIGHLY_MEMORY, OIClass.MEMORY)
+
+
+def classify_oi(oi: float, cfg: ControllerConfig) -> OIClass:
+    """Bucket an operational intensity per the paper's thresholds."""
+    if math.isnan(oi) or oi < 0.0:
+        raise ControllerError(f"invalid operational intensity {oi!r}")
+    if oi < cfg.oi_highly_memory:
+        return OIClass.HIGHLY_MEMORY
+    if oi < cfg.oi_memory_boundary:
+        return OIClass.MEMORY
+    if oi > cfg.oi_highly_cpu:
+        return OIClass.HIGHLY_CPU
+    return OIClass.CPU
+
+
+@dataclass
+class PhaseDetector:
+    """Detects phase changes across controller ticks."""
+
+    cfg: ControllerConfig
+    _current_class: OIClass | None = field(default=None, init=False)
+    _prev_flops: float = field(default=0.0, init=False)
+
+    def update(self, oi: float, flops_per_s: float) -> bool:
+        """Fold one measurement; returns ``True`` on a phase change.
+
+        The first measurement always starts a phase.  The doubling test
+        compares against the *previous* interval: "the FLOPS/s double
+        within the same phase" is a sudden jump in rate (a new kernel
+        became dominant), not growth relative to some long-ago maximum.
+        """
+        if flops_per_s < 0.0:
+            raise ControllerError("flops_per_s must be non-negative")
+        new_class = classify_oi(oi, self.cfg)
+        changed = False
+        if self._current_class is None:
+            changed = True
+        elif new_class.is_memory != self._current_class.is_memory:
+            # Memory <-> CPU regime switch.
+            changed = True
+        elif (
+            self._prev_flops > 0.0
+            and flops_per_s >= self.cfg.phase_flops_jump * self._prev_flops
+        ):
+            # FLOPS/s doubled since the last interval: new behaviour
+            # (e.g. HPL's panel gives way to the DGEMM update).
+            changed = True
+
+        self._prev_flops = flops_per_s
+        self._current_class = new_class
+        return changed
+
+    @property
+    def oi_class(self) -> OIClass:
+        if self._current_class is None:
+            raise ControllerError("detector has not seen a measurement yet")
+        return self._current_class
+
+    def reset(self) -> None:
+        """Forget all history (controller restart)."""
+        self._current_class = None
+        self._prev_flops = 0.0

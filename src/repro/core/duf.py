@@ -1,0 +1,136 @@
+"""DUF: dynamic uncore frequency scaling (André et al., CCPE 2021).
+
+The algorithm the paper builds on, summarised in its Section II-C:
+every interval DUF reads FLOPS/s and memory bandwidth, computes the
+operational intensity and
+
+* resets the uncore frequency on a phase change;
+* increases it when the FLOPS/s dropped below the tolerated slowdown
+  (relative to the phase maximum), or when the memory bandwidth did —
+  DUF watches bandwidth in *all* phases;
+* holds when the FLOPS/s are equivalent to the slowdown limit within
+  measurement error;
+* otherwise keeps decreasing toward the uncore minimum.
+
+The uncore-decision core is factored into :class:`UncoreDecisionEngine`
+so DUFP reuses the *identical* logic (the paper: "DUFP uses the same
+algorithm as DUF when it comes to uncore frequency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ControllerConfig
+from ..papi.highlevel import Measurement
+from .base import Controller, TickLog
+from .detector import PhaseDetector
+from .tolerance import SlowdownTracker, ToleranceVerdict
+from .uncore_actuator import UncoreActuator
+
+__all__ = ["DUF", "UncoreDecisionEngine"]
+
+#: Bandwidth below this is treated as "no memory traffic": the
+#: bandwidth-drop guard is meaningless on compute-only phases.
+_BW_FLOOR_BYTES = 1e8
+
+
+@dataclass
+class UncoreDecisionEngine:
+    """The per-tick uncore decision, shared verbatim by DUF and DUFP."""
+
+    cfg: ControllerConfig
+    actuator: UncoreActuator
+    flops: SlowdownTracker = field(init=False)
+    bandwidth: SlowdownTracker = field(init=False)
+    #: Set when the last action was an increase, with the FLOPS/s that
+    #: motivated it — DUFP's first interaction rule reads these.
+    last_increase_flops: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.cfg.validate()
+        self.flops = SlowdownTracker(
+            self.cfg.tolerated_slowdown, self.cfg.measurement_error
+        )
+        self.bandwidth = SlowdownTracker(
+            self.cfg.tolerated_slowdown, self.cfg.measurement_error
+        )
+
+    def on_phase_change(self, m: Measurement) -> None:
+        """Reset the uncore and restart the phase trackers."""
+        self.actuator.reset()
+        self.flops.reset(m.flops_per_s)
+        self.bandwidth.reset(m.bytes_per_s)
+        self.last_increase_flops = None
+
+    def decide(self, m: Measurement) -> str:
+        """One within-phase decision; returns the action taken."""
+        self.flops.observe(m.flops_per_s)
+        self.bandwidth.observe(m.bytes_per_s)
+
+        verdict = self.flops.judge(m.flops_per_s)
+        bw_violated = (
+            self.bandwidth.phase_max > _BW_FLOOR_BYTES
+            and self.bandwidth.judge(m.bytes_per_s) is ToleranceVerdict.BELOW
+        )
+
+        if verdict is ToleranceVerdict.BELOW or bw_violated:
+            self.last_increase_flops = m.flops_per_s
+            return "increase" if self.actuator.increase() else "hold"
+        self.last_increase_flops = None
+        if verdict is ToleranceVerdict.AT_BOUNDARY:
+            return "hold"
+        return "decrease" if self.actuator.decrease() else "hold"
+
+    def increase_was_futile(self, m: Measurement) -> bool:
+        """True if the last tick raised the uncore and FLOPS/s did not improve.
+
+        The improvement test uses the measurement-error band, the same
+        equivalence notion as the slowdown comparison.
+        """
+        if self.last_increase_flops is None:
+            return False
+        band = self.cfg.measurement_error * max(self.last_increase_flops, 1.0)
+        return m.flops_per_s <= self.last_increase_flops + band
+
+
+class DUF(Controller):
+    """Uncore-only dynamic scaling — the paper's DUF baseline."""
+
+    name = "duf"
+
+    def __init__(self, cfg: ControllerConfig):
+        super().__init__()
+        cfg.validate()
+        self.cfg = cfg
+        self.detector = PhaseDetector(cfg)
+        self._engine: UncoreDecisionEngine | None = None
+
+    @property
+    def engine(self) -> UncoreDecisionEngine:
+        if self._engine is None:
+            raise RuntimeError("duf: tick before attach")
+        return self._engine
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        self._engine = UncoreDecisionEngine(self.cfg, ctx.uncore)
+        # DUF takes ownership of the uncore: start pinned at the max.
+        ctx.uncore.reset()
+
+    def tick(self, now_s: float, m: Measurement) -> None:
+        changed = self.detector.update(m.operational_intensity, m.flops_per_s)
+        if changed:
+            self.engine.on_phase_change(m)
+            action = "reset"
+        else:
+            action = self.engine.decide(m)
+        self.log(
+            TickLog(
+                time_s=now_s,
+                cap_w=self.ctx.cap.cap_w,
+                uncore_hz=self.ctx.uncore.pinned_freq_hz,
+                phase_change=changed,
+                uncore_action=action,
+            )
+        )

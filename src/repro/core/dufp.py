@@ -1,0 +1,187 @@
+"""DUFP: dynamic uncore frequency scaling **and** dynamic power capping.
+
+The paper's contribution (Section III, Fig. 2).  Every interval DUFP
+measures FLOPS/s and memory bandwidth, computes the operational
+intensity, and drives two actuators whose decisions are taken
+separately:
+
+**Uncore** — exactly DUF's algorithm (shared implementation in
+:class:`~repro.core.duf.UncoreDecisionEngine`).
+
+**Power cap** —
+
+* a phase change resets the cap;
+* measured power above the cap (the cap failed to latch in time, e.g.
+  right after a decrease of both constraints) resets the cap;
+* highly memory-intensive phases (OI < 0.02) get unconditional cap
+  decreases — the paper's motivating observation that such phases run
+  unharmed at the 65 W floor;
+* otherwise, FLOPS/s within the tolerated slowdown → decrease; at the
+  limit within measurement error → hold; below the limit → increase,
+  except in highly CPU-intensive phases (OI > 100) where any violation
+  of the FLOPS/s *or bandwidth* tolerance resets the cap outright;
+* constraint bookkeeping follows §III: decreases tie PL1 = PL2, an
+  increase that reaches the default resets both constraints, and the
+  tick after a reset re-ties PL2 to PL1 once power fits.
+
+Two interaction rules couple the actuators (paper, §III):
+
+1. if the previous tick's *uncore increase* did not improve FLOPS/s,
+   the power cap is increased even though FLOPS/s are still within the
+   tolerated slowdown;
+2. after a joint reset the uncore may fail to reach its maximum (the
+   old cap's effect lingers), so the reset is verified and reissued.
+"""
+
+from __future__ import annotations
+
+from ..config import ControllerConfig
+from ..papi.highlevel import Measurement
+from .base import Controller, TickLog
+from .detector import OIClass, PhaseDetector, classify_oi
+from .duf import UncoreDecisionEngine
+from .tolerance import SlowdownTracker, ToleranceVerdict
+
+__all__ = ["DUFP"]
+
+#: Measured power above ``cap × margin`` counts as "consumed more than
+#: the cap": the cap did not latch and must be reset.  The margin
+#: absorbs the benign overshoot of phases whose demand at the lowest
+#: P-state sits a hair above a deep cap.
+OVER_CAP_MARGIN = 1.04
+
+
+class DUFP(Controller):
+    """The combined uncore + dynamic power capping runtime."""
+
+    name = "dufp"
+
+    def __init__(self, cfg: ControllerConfig):
+        super().__init__()
+        cfg.validate()
+        self.cfg = cfg
+        self.detector = PhaseDetector(cfg)
+        # The cap side keeps its own metric trackers: the paper takes
+        # the two actuators' decisions separately.
+        self.cap_flops = SlowdownTracker(cfg.tolerated_slowdown, cfg.measurement_error)
+        self.cap_bw = SlowdownTracker(cfg.tolerated_slowdown, cfg.measurement_error)
+        self._engine: UncoreDecisionEngine | None = None
+        self._joint_reset_pending = False
+        #: The uncore action taken earlier in the current tick; lets
+        #: subclasses coordinate their own actuators with DUF's.
+        self._last_uncore_action = "hold"
+
+    @property
+    def engine(self) -> UncoreDecisionEngine:
+        if self._engine is None:
+            raise RuntimeError("dufp: tick before attach")
+        return self._engine
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        self._engine = UncoreDecisionEngine(self.cfg, ctx.uncore)
+        ctx.uncore.reset()
+
+    # -- the tick ---------------------------------------------------------------
+
+    def tick(self, now_s: float, m: Measurement) -> None:
+        ctx = self.ctx
+        oi = m.operational_intensity
+        changed = self.detector.update(oi, m.flops_per_s)
+
+        if changed:
+            self._on_phase_change(m)
+            self._log(now_s, changed, "reset", "reset")
+            return
+
+        # Interaction 2: verify last tick's joint reset landed.
+        if self._joint_reset_pending:
+            ctx.uncore.ensure_reset()
+            self._joint_reset_pending = False
+
+        # Post-reset bookkeeping: re-tie PL2 once power fits the cap.
+        ctx.cap.after_reset_tighten(m.package_power_w)
+
+        # The cap failed to hold: consumption exceeds it.  Reset.
+        if (
+            not ctx.cap.at_default
+            and m.package_power_w > ctx.cap.cap_w * OVER_CAP_MARGIN
+        ):
+            uncore_action = self.engine.decide(m)
+            self._observe_cap_metrics(m)
+            ctx.cap.reset()
+            self._log(now_s, False, "reset", uncore_action)
+            return
+
+        # Interaction 1 is judged on the *previous* tick's uncore move,
+        # so read it before the engine decides this tick.
+        futile_uncore_increase = self.engine.increase_was_futile(m)
+
+        uncore_action = self.engine.decide(m)
+        self._last_uncore_action = uncore_action
+        cap_action = self._cap_decision(m, oi, futile_uncore_increase)
+        self._log(now_s, False, cap_action, uncore_action)
+
+    # -- cap-side logic ------------------------------------------------------------
+
+    def _on_phase_change(self, m: Measurement) -> None:
+        self.ctx.cap.reset()
+        self.engine.on_phase_change(m)
+        self.cap_flops.reset(m.flops_per_s)
+        self.cap_bw.reset(m.bytes_per_s)
+        self._joint_reset_pending = True
+
+    def _observe_cap_metrics(self, m: Measurement) -> None:
+        self.cap_flops.observe(m.flops_per_s)
+        self.cap_bw.observe(m.bytes_per_s)
+
+    def _cap_decision(
+        self, m: Measurement, oi: float, futile_uncore_increase: bool
+    ) -> str:
+        cap = self.ctx.cap
+        self._observe_cap_metrics(m)
+
+        # Interaction 1: the uncore went up and performance did not
+        # follow — raise the cap to rule out any lingering impact.
+        if futile_uncore_increase:
+            return "increase" if cap.increase() else "hold"
+
+        oi_class = classify_oi(oi, self.cfg)
+
+        # Highly memory-intensive: capping is free, keep going down.
+        if oi_class is OIClass.HIGHLY_MEMORY:
+            return "decrease" if cap.decrease() else "hold"
+
+        verdict = self.cap_flops.judge(m.flops_per_s)
+        if verdict is ToleranceVerdict.WITHIN:
+            return "decrease" if cap.decrease() else "hold"
+        if verdict is ToleranceVerdict.AT_BOUNDARY:
+            # Highly CPU-intensive phases also hold the bandwidth to the
+            # tolerated slowdown; a violated bandwidth resets the cap.
+            if (
+                oi_class is OIClass.HIGHLY_CPU
+                and self.cap_bw.judge(m.bytes_per_s) is ToleranceVerdict.BELOW
+            ):
+                cap.reset()
+                return "reset"
+            return "hold"
+
+        # FLOPS/s dropped more than tolerated.
+        if oi_class is OIClass.HIGHLY_CPU:
+            cap.reset()
+            return "reset"
+        return "increase" if cap.increase() else "hold"
+
+    def _log(
+        self, now_s: float, changed: bool, cap_action: str, uncore_action: str
+    ) -> None:
+        self.log(
+            TickLog(
+                time_s=now_s,
+                cap_w=self.ctx.cap.cap_w,
+                uncore_hz=self.ctx.uncore.pinned_freq_hz,
+                phase_change=changed,
+                cap_action=cap_action,
+                uncore_action=uncore_action,
+            )
+        )

@@ -1,0 +1,214 @@
+"""Extensions beyond the paper: the future-work controllers.
+
+The paper's Section V-G/VII sketches two follow-ups that this module
+implements so they can be evaluated against DUFP:
+
+* :class:`DUFPF` — "better handling CPU frequency under power capping,
+  instead of relying on power capping to change the CPU frequency".
+  DUFPF runs the full DUFP algorithm and adds a third actuator: an
+  explicit core-frequency ceiling written through ``IA32_PERF_CTL``.
+  Driving the P-state directly removes RAPL's conservative guard-band
+  (the firmware budgets for worst-case activity, so it typically leaves
+  a few watts on the table at a given observed performance level).
+
+* :class:`AdaptiveIntervalDUFP` — the Section V-A remedy for UA and
+  LAMMPS: a shorter measurement interval catches sub-interval
+  behaviour, at the price of more controller overhead.  This variant
+  keeps the 200 ms cadence while behaviour is steady but temporarily
+  re-arms at a finer interval after every detected phase change.
+  (The simulator charges no overhead for ticks, so the benchmark for
+  this extension reports the paper's trade-off qualitatively.)
+"""
+
+from __future__ import annotations
+
+from ..config import ControllerConfig
+from ..hardware.msr import MSR, set_bits
+from ..papi.highlevel import Measurement
+from ..units import snap_to_step, watts_to_uw
+from .detector import OIClass, classify_oi
+from .dufp import DUFP
+from .tolerance import ToleranceVerdict
+
+__all__ = ["DUFPF", "AdaptiveIntervalDUFP"]
+
+#: IA32_PERF_CTL expresses the target as a ratio of 100 MHz.
+RATIO_HZ = 100e6
+
+
+class DUFPF(DUFP):
+    """DUFP with direct CPU-frequency scaling (the paper's future work).
+
+    DUFP lets RAPL pick the core frequency as a side effect of the cap;
+    the paper proposes managing the frequency explicitly instead.  Here
+    the roles are swapped:
+
+    * the **P-state ceiling** (written through ``IA32_PERF_CTL``)
+      becomes the performance-feedback actuator, reusing DUFP's exact
+      cap decision logic — it is finer-grained (100 MHz ≈ 1–4 %
+      performance per step vs up to two P-states per 5 W cap step) and
+      latch-free, so it rides the tolerated slowdown with less
+      overshoot;
+    * the **power cap** stops doing performance feedback and instead
+      *follows consumption*: each tick both constraints are set one cap
+      step above the measured package power (floored at 65 W), so the
+      budget guarantee remains while RAPL only acts on transients the
+      ceiling cannot see — e.g. sub-interval power bursts.
+
+    The uncore side is untouched (it is still exactly DUF).
+    """
+
+    name = "dufpf"
+
+    #: The follower cap sits this many watts above measured consumption
+    #: — wide enough that a one-step ceiling raise never hits it.
+    FOLLOW_MARGIN_W = 12.0
+
+    def __init__(self, cfg: ControllerConfig):
+        super().__init__(cfg)
+        self._ceiling_hz: float | None = None
+        #: Set once the uncore has found its operating point for the
+        #: current phase (first increase, or bottomed out); until then
+        #: the ceiling stays parked so the two knobs don't stack.
+        self._uncore_converged = False
+
+    # -- P-state actuation -------------------------------------------------------
+
+    def _core_cfg(self):
+        return self.ctx.processor.config.core
+
+    def _write_ceiling(self, freq_hz: float) -> None:
+        cfg = self._core_cfg()
+        freq_hz = min(max(freq_hz, cfg.min_freq_hz), cfg.max_freq_hz)
+        ratio = int(round(freq_hz / RATIO_HZ))
+        self.ctx.msr.wrmsr(MSR.IA32_PERF_CTL, set_bits(0, 15, 8, ratio))
+        self._ceiling_hz = freq_hz
+
+    @property
+    def ceiling_hz(self) -> float:
+        if self._ceiling_hz is None:
+            return self._core_cfg().max_freq_hz
+        return self._ceiling_hz
+
+    # -- swap the actuator under DUFP's decision logic -----------------------------
+
+    def _on_phase_change(self, m: Measurement) -> None:
+        super()._on_phase_change(m)
+        self._write_ceiling(self._core_cfg().max_freq_hz)
+        self._uncore_converged = False
+
+    def _cap_decision(
+        self, m: Measurement, oi: float, futile_uncore_increase: bool
+    ) -> str:
+        # Run DUFP's verdict machinery against the frequency ceiling.
+        action = self._ceiling_decision(m, oi, futile_uncore_increase)
+        if action in ("increase", "reset"):
+            # Recovery must not be throttled by the lagging follower:
+            # give the ceiling full headroom and re-tighten next tick.
+            if not self.ctx.cap.at_default:
+                self.ctx.cap.reset()
+        else:
+            # The cap follows measured power with a safety margin.
+            self._follow_power(m.package_power_w)
+        return action
+
+    def _ceiling_decision(
+        self, m: Measurement, oi: float, futile_uncore_increase: bool
+    ) -> str:
+        cfg = self._core_cfg()
+        self._observe_cap_metrics(m)
+        if futile_uncore_increase:
+            return self._step_ceiling(+cfg.step_hz, "increase")
+        oi_class = classify_oi(oi, self.cfg)
+        if oi_class is OIClass.HIGHLY_MEMORY:
+            return self._step_ceiling(-cfg.step_hz, "decrease")
+        verdict = self.cap_flops.judge(m.flops_per_s)
+        if verdict is ToleranceVerdict.WITHIN:
+            # Serialize with the uncore: dropping both knobs in one
+            # tick stacks their impacts, and worse, the uncore engine
+            # then blames its own step for the ceiling's slowdown and
+            # strands itself high (losing the bigger savings).  The
+            # ceiling waits until DUF has found its operating point —
+            # its first back-off, or the uncore minimum — then spends
+            # the remaining slowdown budget.
+            if self._last_uncore_action in ("increase", "hold"):
+                self._uncore_converged = True
+            if self.ctx.uncore.at_min:
+                self._uncore_converged = True
+            if not self._uncore_converged:
+                return "hold"
+            return self._step_ceiling(-cfg.step_hz, "decrease")
+        if verdict is ToleranceVerdict.AT_BOUNDARY:
+            if (
+                oi_class is OIClass.HIGHLY_CPU
+                and self.cap_bw.judge(m.bytes_per_s) is ToleranceVerdict.BELOW
+            ):
+                self._write_ceiling(cfg.max_freq_hz)
+                return "reset"
+            return "hold"
+        if oi_class is OIClass.HIGHLY_CPU:
+            self._write_ceiling(cfg.max_freq_hz)
+            return "reset"
+        return self._step_ceiling(+cfg.step_hz, "increase")
+
+    def _step_ceiling(self, delta_hz: float, action: str) -> str:
+        cfg = self._core_cfg()
+        new = self.ceiling_hz + delta_hz
+        if not cfg.min_freq_hz <= new <= cfg.max_freq_hz:
+            return "hold"
+        self._write_ceiling(new)
+        return action
+
+    def _follow_power(self, package_power_w: float) -> None:
+        default = self.ctx.cap.default_cap_w
+        target = snap_to_step(
+            package_power_w + self.FOLLOW_MARGIN_W, self.cfg.cap_step_w
+        )
+        target = min(max(target, self.cfg.cap_floor_w), default)
+        if target >= default:
+            if not self.ctx.cap.at_default:
+                self.ctx.cap.reset()
+            return
+        cap_uw = watts_to_uw(target)
+        self.ctx.cap.zone.set_both_limits_uw(cap_uw, cap_uw)
+        self.ctx.cap.just_reset = False
+
+
+class AdaptiveIntervalDUFP(DUFP):
+    """DUFP with a transiently finer measurement interval.
+
+    After a phase change the controller watches the next
+    ``fine_ticks`` intervals more closely by judging against a
+    smaller effective error band, converging faster on the new
+    phase's operating point.  This approximates the paper's proposal
+    of shrinking the interval around transitions without modelling
+    the measurement overhead a real 50 ms cadence would add.
+    """
+
+    name = "dufp-adaptive"
+
+    def __init__(self, cfg: ControllerConfig, fine_ticks: int = 3):
+        super().__init__(cfg)
+        if fine_ticks < 1:
+            raise ValueError("fine_ticks must be at least 1")
+        self.fine_ticks = fine_ticks
+        self._fine_remaining = 0
+
+    def tick(self, now_s: float, m: Measurement) -> None:
+        tightened = False
+        if self._fine_remaining > 0:
+            # Temporarily sharpen the equivalence band: transitions are
+            # judged strictly so caps release faster.
+            for tracker in (self.cap_flops, self.cap_bw, self.engine.flops):
+                tracker.measurement_error = self.cfg.measurement_error / 2
+            tightened = True
+        try:
+            super().tick(now_s, m)
+        finally:
+            if tightened:
+                for tracker in (self.cap_flops, self.cap_bw, self.engine.flops):
+                    tracker.measurement_error = self.cfg.measurement_error
+        if self.ticks[-1].phase_change:
+            self._fine_remaining = self.fine_ticks
+        elif self._fine_remaining > 0:
+            self._fine_remaining -= 1

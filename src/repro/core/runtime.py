@@ -1,0 +1,115 @@
+"""Per-socket controller runtime: measurement ticks at fixed intervals.
+
+The paper starts "one instance of DUFP on each user-specified socket".
+:class:`ControllerRuntime` owns those instances: it builds each
+socket's context (PAPI meter, powercap zone, MSR tools, actuators),
+starts the meters, and fires every controller's :meth:`tick` each time
+a measurement interval elapses in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ControllerConfig
+from ..errors import ControllerError
+from ..hardware.processor import SimulatedProcessor
+from ..interfaces.cpufreq import CpufreqView
+from ..interfaces.msr_tools import MSRTools
+from ..interfaces.powercap import PowercapTree, PowercapZone
+from ..papi.highlevel import IntervalMeter
+from .base import Controller
+from .capping import CapActuator
+from .uncore_actuator import UncoreActuator
+
+__all__ = ["SocketContext", "ControllerRuntime"]
+
+
+@dataclass
+class SocketContext:
+    """Everything a controller can touch on its socket."""
+
+    processor: SimulatedProcessor
+    meter: IntervalMeter
+    msr: MSRTools
+    powercap: PowercapZone
+    cpufreq: CpufreqView
+    cap: CapActuator
+    uncore: UncoreActuator
+
+
+@dataclass
+class ControllerRuntime:
+    """Drives one controller instance per socket."""
+
+    processors: list[SimulatedProcessor]
+    controllers: list[Controller]
+    cfg: ControllerConfig
+    rng: np.random.Generator | None = None
+    counter_noise: float = 0.0
+    power_noise: float = 0.0
+    contexts: list[SocketContext] = field(init=False)
+    _next_tick_s: float = field(init=False)
+    _started: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ControllerError("runtime needs at least one socket")
+        if len(self.processors) != len(self.controllers):
+            raise ControllerError(
+                "need exactly one controller per socket "
+                f"({len(self.processors)} sockets, {len(self.controllers)} controllers)"
+            )
+        self.cfg.validate()
+        tree = PowercapTree([p.rapl for p in self.processors])
+        self.contexts = []
+        for i, (proc, ctrl) in enumerate(zip(self.processors, self.controllers)):
+            msr = MSRTools(proc.msrs)
+            zone = tree.package_zone(i)
+            ctx = SocketContext(
+                processor=proc,
+                meter=IntervalMeter(
+                    proc,
+                    socket_id=i,
+                    rng=self.rng,
+                    counter_noise=self.counter_noise,
+                    power_noise=self.power_noise,
+                ),
+                msr=msr,
+                powercap=zone,
+                cpufreq=CpufreqView(proc.dvfs),
+                cap=CapActuator(zone, self.cfg),
+                uncore=UncoreActuator(msr, proc.config.uncore, self.cfg),
+            )
+            self.contexts.append(ctx)
+            ctrl.attach(ctx)
+        self._next_tick_s = self.cfg.interval_s
+
+    def start(self) -> None:
+        """Arm the meters; call once before stepping simulated time."""
+        if self._started:
+            raise ControllerError("runtime already started")
+        for ctx in self.contexts:
+            ctx.meter.start()
+        self._started = True
+
+    def on_time(self, now_s: float) -> bool:
+        """Fire ticks due at ``now_s``; returns True if any tick fired.
+
+        The engine calls this after every simulation step.  A tick
+        consumes exactly one measurement interval; if the engine's step
+        overshoots the boundary slightly the interval stretches with it
+        (real timers drift the same way).
+        """
+        if not self._started:
+            raise ControllerError("runtime not started")
+        if now_s + 1e-12 < self._next_tick_s:
+            return False
+        dt = self.cfg.interval_s + (now_s - self._next_tick_s)
+        for ctx, ctrl in zip(self.contexts, self.controllers):
+            m = ctx.meter.sample(dt)
+            ctrl.tick(now_s, m)
+        self._next_tick_s = now_s + self.cfg.interval_s
+        return True

@@ -1,0 +1,97 @@
+"""Tolerated-slowdown accounting for one monitored metric.
+
+DUF and DUFP compare the current FLOPS/s (and memory bandwidth) to the
+maximum observed in the current phase.  Three outcomes drive the
+actuators (paper, Fig. 2):
+
+* **WITHIN** — the metric is above ``max · (1 − slowdown)`` with margin:
+  there is room, keep lowering the knob;
+* **AT_BOUNDARY** — the metric is equivalent to the slowdown limit
+  within measurement error: hold steady;
+* **BELOW** — the metric dropped more than tolerated: back off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ControllerError
+
+__all__ = ["ToleranceVerdict", "SlowdownTracker"]
+
+
+class ToleranceVerdict(enum.Enum):
+    """Where a metric sits relative to the tolerated slowdown."""
+
+    WITHIN = "within"
+    AT_BOUNDARY = "at_boundary"
+    BELOW = "below"
+
+
+@dataclass
+class SlowdownTracker:
+    """Tracks one metric's phase maximum and judges the current value."""
+
+    #: Tolerated slowdown as a fraction (0.05 = 5 %).
+    tolerated_slowdown: float
+    #: Relative half-width of the "equivalent" band around the limit.
+    measurement_error: float
+    #: Highest value seen in the current phase.
+    phase_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tolerated_slowdown < 1.0:
+            raise ControllerError("tolerated_slowdown must be in [0, 1)")
+        if not 0.0 <= self.measurement_error < 0.5:
+            raise ControllerError("measurement_error must be in [0, 0.5)")
+        if self.phase_max < 0.0:
+            raise ControllerError("phase_max must be non-negative")
+
+    def reset(self, value: float = 0.0) -> None:
+        """Start a new phase; ``value`` seeds the maximum."""
+        if value < 0.0:
+            raise ControllerError("metric values must be non-negative")
+        self.phase_max = value
+
+    def observe(self, value: float) -> None:
+        """Fold a new sample into the phase maximum."""
+        if value < 0.0:
+            raise ControllerError("metric values must be non-negative")
+        self.phase_max = max(self.phase_max, value)
+
+    @property
+    def effective_slowdown(self) -> float:
+        """The slowdown actually enforced.
+
+        A drop smaller than the measurement error is indistinguishable
+        from no drop, so the enforceable tolerance is floored at the
+        error: with a 0 % user tolerance the controller still lowers
+        the knobs as long as performance stays within noise of the
+        maximum — this is what lets the paper report (small) savings at
+        0 % tolerated slowdown.
+        """
+        return max(self.tolerated_slowdown, self.measurement_error)
+
+    @property
+    def threshold(self) -> float:
+        """The lowest acceptable value, ``max · (1 − slowdown)``."""
+        return self.phase_max * (1.0 - self.effective_slowdown)
+
+    def judge(self, value: float) -> ToleranceVerdict:
+        """Classify ``value`` against the slowdown limit.
+
+        Does not fold ``value`` into the maximum; call :meth:`observe`
+        for that (the controllers observe first, then judge).
+        """
+        if value < 0.0:
+            raise ControllerError("metric values must be non-negative")
+        if self.phase_max <= 0.0:
+            # Nothing measured yet this phase: no basis to hold back.
+            return ToleranceVerdict.WITHIN
+        band = self.measurement_error * self.phase_max
+        if value >= self.threshold + 0.5 * band:
+            return ToleranceVerdict.WITHIN
+        if value >= self.threshold - band:
+            return ToleranceVerdict.AT_BOUNDARY
+        return ToleranceVerdict.BELOW

@@ -1,0 +1,102 @@
+"""The uncore actuator: DUF's frequency stepping through MSR 0x620.
+
+DUF pins the uncore by writing min-ratio = max-ratio into
+``MSR_UNCORE_RATIO_LIMIT``; all movements here go through the same
+register writes a real implementation issues via msr-tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ControllerConfig, UncoreConfig
+from ..hardware.msr import MSR, set_bits
+from ..interfaces.msr_tools import MSRTools
+
+__all__ = ["UncoreActuator"]
+
+RATIO_HZ = 100e6
+
+
+@dataclass
+class UncoreActuator:
+    """Stepped control of one socket's uncore frequency."""
+
+    msr: MSRTools
+    uncore_cfg: UncoreConfig
+    cfg: ControllerConfig
+
+    def __post_init__(self) -> None:
+        self.uncore_cfg.validate()
+        self.cfg.validate()
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def pinned_freq_hz(self) -> float:
+        """The currently programmed max ratio (the pin point)."""
+        ratio = self.msr.rdmsr(MSR.MSR_UNCORE_RATIO_LIMIT, field=(6, 0))
+        return ratio * RATIO_HZ
+
+    @property
+    def measured_freq_hz(self) -> float:
+        """The frequency the uncore actually runs at."""
+        ratio = self.msr.rdmsr(MSR.MSR_UNCORE_PERF_STATUS, field=(6, 0))
+        return ratio * RATIO_HZ
+
+    @property
+    def at_max(self) -> bool:
+        return self.pinned_freq_hz >= self.uncore_cfg.max_freq_hz
+
+    @property
+    def at_min(self) -> bool:
+        return self.pinned_freq_hz <= self.uncore_cfg.min_freq_hz
+
+    # -- actions ----------------------------------------------------------------
+
+    def _pin(self, freq_hz: float) -> None:
+        freq_hz = min(
+            max(freq_hz, self.uncore_cfg.min_freq_hz), self.uncore_cfg.max_freq_hz
+        )
+        ratio = int(round(freq_hz / RATIO_HZ))
+        value = set_bits(set_bits(0, 6, 0, ratio), 14, 8, ratio)
+        self.msr.wrmsr(MSR.MSR_UNCORE_RATIO_LIMIT, value)
+
+    def decrease(self) -> bool:
+        """One step down; returns ``False`` at the minimum."""
+        if self.at_min:
+            return False
+        self._pin(self.pinned_freq_hz - self.cfg.uncore_step_hz)
+        return True
+
+    def increase(self) -> bool:
+        """One step up; returns ``False`` at the maximum."""
+        if self.at_max:
+            return False
+        self._pin(self.pinned_freq_hz + self.cfg.uncore_step_hz)
+        return True
+
+    def reset(self) -> None:
+        """Pin back to the maximum uncore frequency."""
+        self._pin(self.uncore_cfg.max_freq_hz)
+
+    def ensure_reset(self) -> bool:
+        """Re-issue the reset if the uncore is not at the maximum.
+
+        DUFP's second interaction rule: after a joint reset the applied
+        uncore frequency can lag (the cap's effect is still visible),
+        so the reset is checked and retried.  Returns ``True`` if a
+        retry was needed.
+        """
+        if self.measured_freq_hz < self.uncore_cfg.max_freq_hz:
+            self.reset()
+            return True
+        return False
+
+    def release(self) -> None:
+        """Hand control back to the hardware governor (full window)."""
+        lo = int(round(self.uncore_cfg.min_freq_hz / RATIO_HZ))
+        hi = int(round(self.uncore_cfg.max_freq_hz / RATIO_HZ))
+        self.msr.wrmsr(
+            MSR.MSR_UNCORE_RATIO_LIMIT, set_bits(set_bits(0, 6, 0, hi), 14, 8, lo)
+        )

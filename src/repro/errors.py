@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing hardware-model errors from controller or
+experiment errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware errors."""
+
+
+class MSRError(HardwareError):
+    """Invalid MSR access (unknown address, reserved bits, bad width)."""
+
+
+class MSRPermissionError(MSRError):
+    """Write attempted on a read-only MSR."""
+
+
+class RAPLError(HardwareError):
+    """Invalid RAPL operation (bad domain, limit out of range, locked)."""
+
+
+class FrequencyError(HardwareError):
+    """Requested frequency outside the supported P-state/uncore range."""
+
+
+class PowercapError(ReproError):
+    """Invalid operation on the powercap sysfs emulation."""
+
+
+class PAPIError(ReproError):
+    """PAPI-layer failure (unknown event, bad event-set state)."""
+
+
+class EventSetStateError(PAPIError):
+    """Event-set operation illegal in its current lifecycle state."""
+
+
+class WorkloadError(ReproError):
+    """A workload/application definition is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid state."""
+
+
+class ControllerError(ReproError):
+    """A runtime controller (DUF/DUFP/baseline) was misused."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown id, invalid protocol)."""

@@ -1,0 +1,45 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness follows the paper's protocol (Section V): 10 runs per
+configuration, drop the fastest and slowest, average the remaining 8,
+report percentages over the application's default-configuration values
+with min/max error bars.
+
+The registry maps experiment ids (``table1``, ``fig1a`` … ``fig5``) to
+runnable harnesses; ``python -m repro <id>`` regenerates any of them.
+"""
+
+from .protocol import ProtocolResult, Comparison, run_protocol, compare
+from .sweep import SweepResult, run_sweep, SWEEP_TOLERANCES_PCT
+from .table1 import table1
+from .fig1 import fig1a, fig1b, fig1c
+from .fig3 import fig3a, fig3b, fig3c
+from .fig4 import fig4
+from .fig5 import fig5
+from .scorecard import Scorecard, ClaimResult, run_scorecard
+from .registry import EXPERIMENTS, run_experiment, experiment_ids
+
+__all__ = [
+    "ProtocolResult",
+    "Comparison",
+    "run_protocol",
+    "compare",
+    "SweepResult",
+    "run_sweep",
+    "SWEEP_TOLERANCES_PCT",
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4",
+    "fig5",
+    "Scorecard",
+    "ClaimResult",
+    "run_scorecard",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]

@@ -1,0 +1,116 @@
+"""Regenerate every artifact into an output directory.
+
+``python -m repro export --out results/`` produces a self-contained
+results bundle: one text report per table/figure, the machine-readable
+sweep as CSV, and an index.  This is the "make all figures" entry point
+a reproduction package is expected to ship.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from .fig1 import fig1a, fig1b, fig1c
+from .fig3 import fig3a, fig3b, fig3c
+from .fig4 import fig4
+from .fig5 import fig5
+from .scorecard import run_scorecard
+from .sweep import SweepResult, run_sweep
+from .table1 import table1
+
+__all__ = ["ExportManifest", "export_all"]
+
+
+@dataclass
+class ExportManifest:
+    """What :func:`export_all` wrote."""
+
+    out_dir: str
+    files: list[str] = field(default_factory=list)
+
+    def add(self, name: str, content: str) -> str:
+        path = os.path.join(self.out_dir, name)
+        with open(path, "w") as f:
+            f.write(content if content.endswith("\n") else content + "\n")
+        self.files.append(name)
+        return path
+
+
+def _sweep_csv(sweep: SweepResult) -> str:
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "app",
+            "controller",
+            "tolerance_pct",
+            "slowdown_pct",
+            "slowdown_lo",
+            "slowdown_hi",
+            "package_savings_pct",
+            "dram_savings_pct",
+            "energy_savings_pct",
+        ]
+    )
+    for (app, ctrl, tol), cmp_ in sorted(sweep.comparisons.items()):
+        writer.writerow(
+            [
+                app,
+                ctrl,
+                f"{tol:.0f}",
+                f"{cmp_.slowdown_pct.mean:.3f}",
+                f"{cmp_.slowdown_pct.low:.3f}",
+                f"{cmp_.slowdown_pct.high:.3f}",
+                f"{cmp_.package_savings_pct.mean:.3f}",
+                f"{cmp_.dram_savings_pct.mean:.3f}",
+                f"{cmp_.energy_savings_pct.mean:.3f}",
+            ]
+        )
+    return buf.getvalue()
+
+
+def export_all(
+    out_dir: str,
+    runs: int = 10,
+    sweep: SweepResult | None = None,
+    include_scorecard: bool = True,
+) -> ExportManifest:
+    """Write every table/figure report plus the sweep CSV to ``out_dir``."""
+    if runs < 1:
+        raise ExperimentError("need at least one run")
+    os.makedirs(out_dir, exist_ok=True)
+    manifest = ExportManifest(out_dir=out_dir)
+
+    sweep = sweep or run_sweep(runs=runs)
+
+    manifest.add("table1.txt", table1().render())
+    manifest.add("fig1a.txt", fig1a(runs=runs).render())
+    manifest.add("fig1b.txt", fig1b(runs=runs).render())
+    manifest.add("fig1c.txt", fig1c(runs=runs).render())
+    for name, panel_fn in (
+        ("fig3a", fig3a),
+        ("fig3b", fig3b),
+        ("fig3c", fig3c),
+        ("fig4", fig4),
+    ):
+        panel = panel_fn(sweep=sweep)
+        manifest.add(f"{name}.txt", panel.render())
+        manifest.add(f"{name}_bars.txt", panel.render_bars())
+    manifest.add("fig5.txt", fig5().render())
+    manifest.add("sweep.csv", _sweep_csv(sweep))
+    if include_scorecard:
+        manifest.add(
+            "scorecard.txt", run_scorecard(sweep=sweep, runs=runs).render()
+        )
+
+    index = "\n".join(
+        ["# repro results bundle", ""]
+        + [f"- {name}" for name in manifest.files]
+    )
+    manifest.add("INDEX.md", index)
+    return manifest

@@ -1,0 +1,180 @@
+"""Figure 1: the motivating experiment — power capping CG.
+
+Three views, all on CG (Section II-A):
+
+* **Fig. 1a** — whole-run static caps.  Configurations: the default
+  uncore pinned at its maximum ("default"), the stock uncore frequency
+  scaling ("ufs"), and UFS combined with 110 W and 100 W whole-run
+  caps.  Execution time is a percentage of the default run; power is a
+  percentage of the socket's default power *budget* (125 W), the
+  paper's choice of denominator.
+* **Fig. 1b** — the same caps applied only during CG's initial
+  memory-access phase; the reported power is the average over that
+  phase alone.
+* **Fig. 1c** — the total execution time under those phase-local caps,
+  showing the capping of the memory phase is performance-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import format_table
+from ..config import ControllerConfig, NoiseConfig
+from ..core.baselines import DefaultController, StaticPowerCap, StaticUncore, TimeWindowCap
+from ..errors import ExperimentError
+from ..sim.run import run_application
+from ..workloads.catalog import build_application
+from .protocol import run_protocol
+
+__all__ = ["Fig1Row", "Fig1Result", "fig1a", "fig1b", "fig1c"]
+
+#: The two static caps the paper studies, watts.
+FIG1_CAPS_W = (110.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One configuration of a Fig. 1 panel."""
+
+    label: str
+    time_pct_of_default: float
+    power_pct_of_budget: float
+
+
+@dataclass
+class Fig1Result:
+    """One panel of Fig. 1 (rows per configuration)."""
+
+    panel: str
+    rows: list[Fig1Row] = field(default_factory=list)
+
+    def row(self, label: str) -> Fig1Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise ExperimentError(f"fig1 panel {self.panel} has no row {label!r}")
+
+    def render(self) -> str:
+        return format_table(
+            ["configuration", "time (% of default)", "power (% of budget)"],
+            [(r.label, r.time_pct_of_default, r.power_pct_of_budget) for r in self.rows],
+            title=f"Fig. 1{self.panel}: CG under power capping",
+        )
+
+
+def _cg_protocol(factory, cfg, runs, noise):
+    return run_protocol(
+        build_application("CG"),
+        factory,
+        controller_cfg=cfg,
+        runs=runs,
+        noise=noise,
+    )
+
+
+def fig1a(runs: int = 10, noise: NoiseConfig | None = None) -> Fig1Result:
+    """Whole-run static capping of CG."""
+    cfg = ControllerConfig()
+    noise = noise or NoiseConfig()
+    budget = 125.0
+    uncore_max = 2.4e9
+
+    default = _cg_protocol(lambda: StaticUncore(uncore_max), cfg, runs, noise)
+    configs = [("ufs", DefaultController)]
+    for cap in FIG1_CAPS_W:
+        configs.append((f"ufs+{cap:.0f}W", lambda cap=cap: StaticPowerCap(cap)))
+
+    result = Fig1Result(panel="a")
+    result.rows.append(
+        Fig1Row(
+            "default",
+            100.0,
+            100.0 * default.mean_package_power_w / budget,
+        )
+    )
+    for label, factory in configs:
+        res = _cg_protocol(factory, cfg, runs, noise)
+        result.rows.append(
+            Fig1Row(
+                label,
+                100.0 * res.mean_time_s / default.mean_time_s,
+                100.0 * res.mean_package_power_w / budget,
+            )
+        )
+    return result
+
+
+def _setup_window(noise: NoiseConfig) -> tuple[float, float]:
+    """The time window of CG's initial memory phase in a default run."""
+    run = run_application(
+        build_application("CG"),
+        DefaultController,
+        noise=noise,
+        seed=noise.seed,
+        record_trace=True,
+    )
+    span = run.socket(0).phase_span("cg.setup")
+    return span.start_s, span.end_s
+
+
+def _fig1_windowed(panel: str, runs: int, noise: NoiseConfig | None) -> Fig1Result:
+    cfg = ControllerConfig()
+    noise = noise or NoiseConfig()
+    budget = 125.0
+    start_s, end_s = _setup_window(noise)
+    # Generous margin: jittered runs shift the boundary slightly.
+    window_end = end_s * 1.02
+
+    def window_power(protocol) -> float:
+        run = protocol.last_run
+        pkg_j, _ = run.socket(0).window_energy_j(start_s, min(window_end, end_s))
+        return pkg_j / (min(window_end, end_s) - start_s)
+
+    default = run_protocol(
+        build_application("CG"),
+        lambda: StaticUncore(2.4e9),
+        controller_cfg=cfg,
+        runs=runs,
+        noise=noise,
+        record_trace=True,
+    )
+    result = Fig1Result(panel=panel)
+    result.rows.append(
+        Fig1Row("default", 100.0, 100.0 * window_power(default) / budget)
+    )
+    configs: list[tuple[str, object]] = [("ufs", DefaultController)]
+    for cap in FIG1_CAPS_W:
+        configs.append(
+            (
+                f"ufs+{cap:.0f}W",
+                lambda cap=cap: TimeWindowCap(cap, 0.0, window_end),
+            )
+        )
+    for label, factory in configs:
+        res = run_protocol(
+            build_application("CG"),
+            factory,
+            controller_cfg=cfg,
+            runs=runs,
+            noise=noise,
+            record_trace=True,
+        )
+        result.rows.append(
+            Fig1Row(
+                label,
+                100.0 * res.mean_time_s / default.mean_time_s,
+                100.0 * window_power(res) / budget,
+            )
+        )
+    return result
+
+
+def fig1b(runs: int = 10, noise: NoiseConfig | None = None) -> Fig1Result:
+    """Power of CG's first phase under phase-local caps."""
+    return _fig1_windowed("b", runs, noise)
+
+
+def fig1c(runs: int = 10, noise: NoiseConfig | None = None) -> Fig1Result:
+    """Total execution time under the phase-local caps."""
+    return _fig1_windowed("c", runs, noise)

@@ -1,0 +1,99 @@
+"""Figure 3: DUF/DUFP impact on performance, power and energy.
+
+Three panels over the same evaluation sweep (10 applications × DUF/DUFP
+× tolerated slowdowns {0, 5, 10, 20} %):
+
+* **3a** — execution-time slowdown (% over the default run);
+* **3b** — processor power savings (%);
+* **3c** — processor + DRAM energy savings (%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.stats import ErrorBar
+from ..analysis.tables import format_table
+from .sweep import SweepResult, run_sweep
+
+__all__ = ["FigPanel", "fig3a", "fig3b", "fig3c"]
+
+
+@dataclass
+class FigPanel:
+    """One panel: metric values per (app, controller, tolerance)."""
+
+    figure: str
+    metric: str
+    #: (app, controller, tolerance_pct) -> ErrorBar of the metric (%).
+    values: dict[tuple[str, str, float], ErrorBar] = field(default_factory=dict)
+    tolerances_pct: tuple[float, ...] = ()
+    apps: tuple[str, ...] = ()
+
+    def get(self, app: str, controller: str, tolerance_pct: float) -> ErrorBar:
+        return self.values[(app.upper(), controller, float(tolerance_pct))]
+
+    def render(self) -> str:
+        headers = ["app", "ctrl"] + [f"{t:.0f}%" for t in self.tolerances_pct]
+        rows = []
+        for app in self.apps:
+            for ctrl in ("duf", "dufp"):
+                row: list[object] = [app, ctrl]
+                for tol in self.tolerances_pct:
+                    bar = self.get(app, ctrl, tol)
+                    row.append(f"{bar.mean:+.2f} [{bar.low:+.2f},{bar.high:+.2f}]")
+                rows.append(row)
+        return format_table(
+            headers, rows, title=f"Fig. {self.figure}: {self.metric}"
+        )
+
+    def render_bars(self, controller: str = "dufp", width: int = 30) -> str:
+        """The paper's visual form: per-app clusters, one bar per tolerance."""
+        from ..analysis.plots import grouped_bar_chart
+
+        series = {
+            f"{controller} @{tol:.0f}%": {
+                app: self.get(app, controller, tol).mean for app in self.apps
+            }
+            for tol in self.tolerances_pct
+        }
+        return grouped_bar_chart(
+            list(self.apps),
+            series,
+            width=width,
+            title=f"Fig. {self.figure}: {self.metric} ({controller})",
+        )
+
+
+def _panel(sweep: SweepResult, figure: str, metric: str, attr: str) -> FigPanel:
+    panel = FigPanel(
+        figure=figure,
+        metric=metric,
+        tolerances_pct=sweep.tolerances_pct,
+        apps=sweep.apps,
+    )
+    for key, cmp_ in sweep.comparisons.items():
+        panel.values[key] = getattr(cmp_, attr)
+    return panel
+
+
+def fig3a(sweep: SweepResult | None = None, runs: int = 10) -> FigPanel:
+    """Slowdown (% over default execution time)."""
+    sweep = sweep or run_sweep(runs=runs)
+    return _panel(sweep, "3a", "slowdown (% of default time)", "slowdown_pct")
+
+
+def fig3b(sweep: SweepResult | None = None, runs: int = 10) -> FigPanel:
+    """Processor power savings (%)."""
+    sweep = sweep or run_sweep(runs=runs)
+    return _panel(
+        sweep, "3b", "processor power savings (%)", "package_savings_pct"
+    )
+
+
+def fig3c(sweep: SweepResult | None = None, runs: int = 10) -> FigPanel:
+    """Processor + DRAM energy savings (%)."""
+    sweep = sweep or run_sweep(runs=runs)
+    return _panel(
+        sweep, "3c", "CPU+DRAM energy savings (%)", "energy_savings_pct"
+    )

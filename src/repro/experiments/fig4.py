@@ -1,0 +1,14 @@
+"""Figure 4: DUFP impact on DRAM power consumption."""
+
+from __future__ import annotations
+
+from .fig3 import FigPanel, _panel
+from .sweep import SweepResult, run_sweep
+
+__all__ = ["fig4"]
+
+
+def fig4(sweep: SweepResult | None = None, runs: int = 10) -> FigPanel:
+    """DRAM power savings (% over the default run)."""
+    sweep = sweep or run_sweep(runs=runs)
+    return _panel(sweep, "4", "DRAM power savings (%)", "dram_savings_pct")

@@ -1,0 +1,164 @@
+"""The measurement protocol: repeated runs, trimming, ratios.
+
+Implements Section V's statistics: per configuration the harness
+performs N (default 10) seeded runs, drops the lowest- and highest-
+execution-time runs, and reports every metric averaged over the kept
+runs.  Comparisons are expressed as percentages over the application's
+default-configuration values, with min/max error bars over the kept
+runs — the exact quantities plotted in Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analysis.stats import ErrorBar, error_bar, keep_indices_drop_extremes
+from ..config import ControllerConfig, EngineConfig, NoiseConfig
+from ..core.base import Controller
+from ..errors import ExperimentError
+from ..sim.result import RunResult
+from ..sim.run import run_application
+from ..workloads.application import Application
+
+__all__ = ["ProtocolResult", "Comparison", "run_protocol", "compare"]
+
+#: Default number of runs per configuration (paper: 10).
+DEFAULT_RUNS = 10
+
+
+@dataclass
+class ProtocolResult:
+    """Raw per-run metrics for one (application, controller) config."""
+
+    app_name: str
+    controller_name: str
+    times_s: list[float] = field(default_factory=list)
+    package_power_w: list[float] = field(default_factory=list)
+    dram_power_w: list[float] = field(default_factory=list)
+    total_energy_j: list[float] = field(default_factory=list)
+    #: The last run's full result, kept for trace-based figures.
+    last_run: RunResult | None = None
+
+    @property
+    def keep(self) -> list[int]:
+        """Kept run indices after trimming by execution time."""
+        return keep_indices_drop_extremes(self.times_s)
+
+    def bar(self, metric: str) -> ErrorBar:
+        values = getattr(self, metric)
+        return error_bar(values, self.keep)
+
+    @property
+    def mean_time_s(self) -> float:
+        return self.bar("times_s").mean
+
+    @property
+    def mean_package_power_w(self) -> float:
+        return self.bar("package_power_w").mean
+
+    @property
+    def mean_dram_power_w(self) -> float:
+        return self.bar("dram_power_w").mean
+
+    @property
+    def mean_total_energy_j(self) -> float:
+        return self.bar("total_energy_j").mean
+
+
+def run_protocol(
+    application: Application,
+    controller_factory: Callable[[], Controller],
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    socket_count: int = 1,
+    record_trace: bool = False,
+) -> ProtocolResult:
+    """Execute ``runs`` seeded repetitions of one configuration."""
+    if runs < 1:
+        raise ExperimentError("need at least one run")
+    noise = noise or NoiseConfig()
+    result = ProtocolResult(
+        app_name=application.name,
+        controller_name=controller_factory().name,
+    )
+    for r in range(runs):
+        run = run_application(
+            application,
+            controller_factory,
+            controller_cfg=controller_cfg,
+            noise=noise,
+            engine_cfg=engine_cfg,
+            socket_count=socket_count,
+            seed=noise.seed + 1009 * r + base_seed,
+            record_trace=record_trace or (r == runs - 1),
+        )
+        result.times_s.append(run.execution_time_s)
+        result.package_power_w.append(run.avg_package_power_w)
+        result.dram_power_w.append(run.avg_dram_power_w)
+        result.total_energy_j.append(run.total_energy_j)
+        result.last_run = run
+    return result
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One configuration expressed relative to the default run.
+
+    Positive ``slowdown_pct`` means the controller made the run slower;
+    positive ``*_savings_pct`` means it consumed less than the default.
+    Error bars carry the kept runs' min/max, normalised the same way.
+    """
+
+    app_name: str
+    controller_name: str
+    slowdown_pct: ErrorBar
+    package_savings_pct: ErrorBar
+    dram_savings_pct: ErrorBar
+    energy_savings_pct: ErrorBar
+
+    def within_tolerance(self, tolerated_slowdown_pct: float, slack: float = 0.0) -> bool:
+        """Did the mean slowdown respect the tolerance (plus slack)?"""
+        return self.slowdown_pct.mean <= tolerated_slowdown_pct + slack
+
+
+def _ratio_bar(values: list[float], keep: list[int], reference: float, *, savings: bool) -> ErrorBar:
+    if reference <= 0:
+        raise ExperimentError("non-positive reference value")
+    if savings:
+        pct = [100.0 * (1.0 - values[i] / reference) for i in keep]
+    else:
+        pct = [100.0 * (values[i] / reference - 1.0) for i in keep]
+    return ErrorBar(
+        mean=sum(pct) / len(pct), low=min(pct), high=max(pct)
+    )
+
+
+def compare(result: ProtocolResult, default: ProtocolResult) -> Comparison:
+    """Express ``result`` as percentages over ``default``'s trimmed means."""
+    if result.app_name != default.app_name:
+        raise ExperimentError(
+            f"comparing different applications: {result.app_name!r} "
+            f"vs {default.app_name!r}"
+        )
+    keep = result.keep
+    return Comparison(
+        app_name=result.app_name,
+        controller_name=result.controller_name,
+        slowdown_pct=_ratio_bar(
+            result.times_s, keep, default.mean_time_s, savings=False
+        ),
+        package_savings_pct=_ratio_bar(
+            result.package_power_w, keep, default.mean_package_power_w, savings=True
+        ),
+        dram_savings_pct=_ratio_bar(
+            result.dram_power_w, keep, default.mean_dram_power_w, savings=True
+        ),
+        energy_savings_pct=_ratio_bar(
+            result.total_energy_j, keep, default.mean_total_energy_j, savings=True
+        ),
+    )

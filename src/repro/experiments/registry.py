@@ -1,0 +1,96 @@
+"""Experiment registry: id → harness, shared by the CLI and benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from .fig1 import fig1a, fig1b, fig1c
+from .fig3 import fig3a, fig3b, fig3c
+from .fig4 import fig4
+from .fig5 import fig5
+from .scorecard import run_scorecard
+from .sensitivity import run_sensitivity
+from .sweep import run_sweep
+from .table1 import table1
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
+
+
+def _render_table1(**kwargs) -> str:
+    return table1().render()
+
+
+def _render_fig1(fn) -> Callable[..., str]:
+    def runner(runs: int = 10, **kwargs) -> str:
+        return fn(runs=runs).render()
+
+    return runner
+
+
+def _render_fig3(fn) -> Callable[..., str]:
+    def runner(runs: int = 10, sweep=None, **kwargs) -> str:
+        return fn(sweep=sweep, runs=runs).render()
+
+    return runner
+
+
+def _render_fig5(**kwargs) -> str:
+    return fig5().render()
+
+
+def _render_all(runs: int = 10, **kwargs) -> str:
+    """Every table and figure, sharing one evaluation sweep."""
+    sweep = run_sweep(runs=runs)
+    parts = [
+        table1().render(),
+        fig1a(runs=runs).render(),
+        fig1b(runs=runs).render(),
+        fig1c(runs=runs).render(),
+        fig3a(sweep=sweep).render(),
+        fig3b(sweep=sweep).render(),
+        fig3c(sweep=sweep).render(),
+        fig4(sweep=sweep).render(),
+        fig5().render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _render_scorecard(runs: int = 10, sweep=None, **kwargs) -> str:
+    return run_scorecard(sweep=sweep, runs=runs).render()
+
+
+def _render_sensitivity(**kwargs) -> str:
+    return run_sensitivity().render()
+
+
+EXPERIMENTS: dict[str, Callable[..., str]] = {
+    "table1": _render_table1,
+    "scorecard": _render_scorecard,
+    "sensitivity": _render_sensitivity,
+    "fig1a": _render_fig1(fig1a),
+    "fig1b": _render_fig1(fig1b),
+    "fig1c": _render_fig1(fig1c),
+    "fig3a": _render_fig3(fig3a),
+    "fig3b": _render_fig3(fig3b),
+    "fig3c": _render_fig3(fig3c),
+    "fig4": _render_fig3(fig4),
+    "fig5": _render_fig5,
+    "all": _render_all,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """Every runnable experiment id, CLI order."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> str:
+    """Run one experiment by id and return its rendered report."""
+    runner = EXPERIMENTS.get(experiment_id)
+    if runner is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+    return runner(**kwargs)

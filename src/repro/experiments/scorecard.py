@@ -1,0 +1,220 @@
+"""The reproduction scorecard: paper claims, checked programmatically.
+
+Encodes the paper's headline claims (Sections II-A and V) as data and
+evaluates them against a measured sweep + figure harnesses, producing
+a pass/fail table with the measured values.  This is the library-level
+version of what ``benchmarks/`` asserts — runnable on demand
+(``python -m repro scorecard``) and reusable after any recalibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..analysis.tables import format_table
+from .fig1 import fig1c
+from .fig5 import fig5
+from .sweep import SweepResult, run_sweep
+
+__all__ = ["ClaimResult", "Scorecard", "run_scorecard"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One paper claim and its measured verdict."""
+
+    claim_id: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class Scorecard:
+    """All claim verdicts of one scorecard run."""
+
+    claims: list[ClaimResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(c.passed for c in self.claims)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    def claim(self, claim_id: str) -> ClaimResult:
+        for c in self.claims:
+            if c.claim_id == claim_id:
+                return c
+        raise KeyError(claim_id)
+
+    def render(self) -> str:
+        rows = [
+            (c.claim_id, c.paper, c.measured, "PASS" if c.passed else "FAIL")
+            for c in self.claims
+        ]
+        table = format_table(
+            ["claim", "paper", "measured", "verdict"],
+            rows,
+            title="Reproduction scorecard",
+        )
+        return f"{table}\n\n{self.passed}/{self.total} claims hold"
+
+
+def _sweep_claims(sweep: SweepResult) -> list[ClaimResult]:
+    claims: list[ClaimResult] = []
+
+    def add(claim_id: str, paper: str, measured: str, passed: bool) -> None:
+        claims.append(ClaimResult(claim_id, paper, measured, passed))
+
+    # V-A: tolerance respected for most configurations.
+    within, total = sweep.respected_count("dufp", slack=0.5)
+    add(
+        "3a.respected",
+        "34/40 configurations",
+        f"{within}/{total}",
+        within >= 30,
+    )
+
+    # V-A: the known violators stay small.
+    worst_miss = max(
+        sweep.get(app, "dufp", tol).slowdown_pct.mean - tol
+        for app in sweep.apps
+        for tol in sweep.tolerances_pct
+    )
+    add(
+        "3a.small-misses",
+        "max +3.17 over tolerance",
+        f"max {worst_miss:+.2f}",
+        worst_miss < 4.0,
+    )
+
+    # V-B: DUFP reduces the power consumption of all applications.
+    min_saving = min(
+        sweep.get(app, "dufp", 10.0).package_savings_pct.mean for app in sweep.apps
+    )
+    add(
+        "3b.all-apps-save",
+        "savings on all applications",
+        f"min {min_saving:+.2f} % @10 %",
+        min_saving > 0.0,
+    )
+
+    # V-B: EP posts heavy, uncore-dominated savings.
+    ep_dufp = max(
+        sweep.get("EP", "dufp", t).package_savings_pct.mean
+        for t in sweep.tolerances_pct
+    )
+    ep_duf = max(
+        sweep.get("EP", "duf", t).package_savings_pct.mean
+        for t in sweep.tolerances_pct
+    )
+    add(
+        "3b.ep-heavy",
+        "EP best: 24.27 %, uncore-dominated",
+        f"DUFP {ep_dufp:.2f} %, DUF alone {ep_duf:.2f} %",
+        ep_dufp > 12.0 and ep_duf > 0.6 * ep_dufp,
+    )
+
+    # V-B: capping adds savings over DUF, biggest gap on CG @ 20.
+    cg_gap = (
+        sweep.get("CG", "dufp", 20.0).package_savings_pct.mean
+        - sweep.get("CG", "duf", 20.0).package_savings_pct.mean
+    )
+    add(
+        "3b.cg20-gap",
+        "DUFP +7.90 over DUF",
+        f"{cg_gap:+.2f}",
+        cg_gap > 4.0,
+    )
+
+    # V-B: DUFP saves where DUF could not (BT).
+    bt_duf = sweep.get("BT", "duf", 20.0).package_savings_pct.mean
+    bt_dufp = sweep.get("BT", "dufp", 20.0).package_savings_pct.mean
+    add(
+        "3b.bt-rescued",
+        "BT@20: DUF 0.64 vs DUFP 5.14",
+        f"DUF {bt_duf:.2f} vs DUFP {bt_dufp:.2f}",
+        bt_dufp > bt_duf + 2.0,
+    )
+
+    # V-F: CPU-intensive applications stay below ~7 % (DUF).
+    hpl = max(
+        sweep.get("HPL", "duf", t).package_savings_pct.mean
+        for t in sweep.tolerances_pct
+    )
+    add(
+        "3b.hpl-modest",
+        "HPL < 7 %",
+        f"{hpl:.2f} % (DUF)",
+        hpl < 8.0,
+    )
+
+    # V-D: no energy loss at <= 10 % tolerance for most applications.
+    losses = [
+        (app, tol)
+        for app in sweep.apps
+        for tol in (0.0, 5.0, 10.0)
+        if sweep.get(app, "dufp", tol).energy_savings_pct.mean < -1.0
+    ]
+    add(
+        "3c.no-loss-le10",
+        "no loss for most apps",
+        f"{len(losses)} losing configs",
+        len(losses) <= 3,
+    )
+
+    # V-D: CG @ 10 saves power and energy.
+    cg10_e = sweep.get("CG", "dufp", 10.0).energy_savings_pct.mean
+    cg10_p = sweep.get("CG", "dufp", 10.0).package_savings_pct.mean
+    add(
+        "3c.cg10-both",
+        "13.98 % power, 4.7 % energy",
+        f"{cg10_p:.2f} % power, {cg10_e:.2f} % energy",
+        cg10_p > 8.0 and cg10_e > 1.0,
+    )
+
+    # Fig 4: DRAM savings for most configurations, best on CG @ 20.
+    cg20_dram = sweep.get("CG", "dufp", 20.0).dram_savings_pct.mean
+    add(
+        "4.cg20-dram",
+        "best 8.83 % (CG @ 20)",
+        f"{cg20_dram:.2f} %",
+        cg20_dram > 4.0,
+    )
+    return claims
+
+
+def run_scorecard(
+    sweep: SweepResult | None = None,
+    runs: int = 10,
+    include_figures: bool = True,
+) -> Scorecard:
+    """Evaluate every encoded claim; heavier with ``include_figures``."""
+    sweep = sweep or run_sweep(runs=runs)
+    card = Scorecard(claims=_sweep_claims(sweep))
+
+    if include_figures:
+        f5 = fig5()
+        card.claims.append(
+            ClaimResult(
+                "5.freq-drop",
+                "DUF 2.8 GHz vs DUFP 2.5 GHz",
+                f"DUF {f5.duf_avg_ghz:.2f} vs DUFP {f5.dufp_avg_ghz:.2f}",
+                f5.duf_avg_ghz > 2.75 and 2.2 < f5.dufp_avg_ghz < 2.7,
+            )
+        )
+        f1c = fig1c(runs=max(2, runs // 2))
+        worst_dt = max(
+            abs(f1c.row(label).time_pct_of_default - 100.0)
+            for label in ("ufs+110W", "ufs+100W")
+        )
+        card.claims.append(
+            ClaimResult(
+                "1c.free-capping",
+                "no total-time impact",
+                f"max {worst_dt:.2f} % deviation",
+                worst_dt < 1.0,
+            )
+        )
+    return card

@@ -1,0 +1,193 @@
+"""Sensitivity analysis: how calibration constants move the headlines.
+
+The substrate's power/performance constants (DESIGN.md §5, SUBSTRATE.md)
+are calibrated to the paper's anchors.  This harness perturbs one
+constant at a time (×0.8 / ×1.2 by default) and re-measures a compact
+probe — CG and EP under DUFP at 10 % tolerance — reporting how the
+headline metrics shift.  A reproduction whose conclusions survive ±20 %
+on every knob is trusting shapes, not lucky constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..analysis.tables import format_table
+from ..config import (
+    ControllerConfig,
+    MachineConfig,
+    NoiseConfig,
+    SocketConfig,
+    yeti_socket_config,
+)
+from ..core.baselines import DefaultController
+from ..core.dufp import DUFP
+from ..errors import ExperimentError
+from ..sim.machine import SimulatedMachine
+from ..sim.run import run_application
+from ..workloads.catalog import build_application
+
+__all__ = ["SensitivityPoint", "SensitivityResult", "run_sensitivity", "PARAMETERS"]
+
+#: name -> function producing a SocketConfig with the parameter scaled.
+PARAMETERS: dict[str, Callable[[SocketConfig, float], SocketConfig]] = {
+    "k_core": lambda s, f: replace(
+        s, power=replace(s.power, k_core=s.power.k_core * f)
+    ),
+    "k_uncore": lambda s, f: replace(
+        s, power=replace(s.power, k_uncore=s.power.k_uncore * f)
+    ),
+    "static_w": lambda s, f: replace(
+        s, power=replace(s.power, static_w=s.power.static_w * f)
+    ),
+    "uncore_idle_fraction": lambda s, f: replace(
+        s,
+        power=replace(
+            s.power, uncore_idle_fraction=min(s.power.uncore_idle_fraction * f, 1.0)
+        ),
+    ),
+    "core_idle_fraction": lambda s, f: replace(
+        s,
+        power=replace(
+            s.power, core_idle_fraction=min(s.power.core_idle_fraction * f, 1.0)
+        ),
+    ),
+    "bw_per_uncore_hz": lambda s, f: replace(
+        s, memory=replace(s.memory, bw_per_uncore_hz=s.memory.bw_per_uncore_hz * f)
+    ),
+    "dram_static_w": lambda s, f: replace(
+        s, memory=replace(s.memory, dram_static_w=s.memory.dram_static_w * f)
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """The probe metrics at one (parameter, factor) setting."""
+
+    parameter: str
+    factor: float
+    cg_slowdown_pct: float
+    cg_savings_pct: float
+    ep_savings_pct: float
+
+    @property
+    def holds(self) -> bool:
+        """Do the headline shapes survive at this setting?
+
+        CG respects ~10 % tolerance, both apps still save power.
+        """
+        return (
+            self.cg_slowdown_pct < 13.0
+            and self.cg_savings_pct > 3.0
+            and self.ep_savings_pct > 5.0
+        )
+
+
+@dataclass
+class SensitivityResult:
+    """Baseline plus every perturbed probe point."""
+
+    baseline: SensitivityPoint = None  # type: ignore[assignment]
+    points: list[SensitivityPoint] = field(default_factory=list)
+
+    def for_parameter(self, parameter: str) -> list[SensitivityPoint]:
+        pts = [p for p in self.points if p.parameter == parameter]
+        if not pts:
+            raise ExperimentError(f"no sensitivity points for {parameter!r}")
+        return pts
+
+    @property
+    def all_hold(self) -> bool:
+        return all(p.holds for p in self.points) and self.baseline.holds
+
+    def render(self) -> str:
+        rows = [
+            (
+                p.parameter,
+                f"x{p.factor:.2f}",
+                p.cg_slowdown_pct,
+                p.cg_savings_pct,
+                p.ep_savings_pct,
+                "ok" if p.holds else "BROKEN",
+            )
+            for p in [self.baseline] + self.points
+        ]
+        return format_table(
+            [
+                "parameter",
+                "factor",
+                "CG slow %",
+                "CG save %",
+                "EP save %",
+                "shape",
+            ],
+            rows,
+            title="Calibration sensitivity (DUFP @ 10 % on CG and EP)",
+        )
+
+
+def _probe(socket: SocketConfig, noise: NoiseConfig, seed: int) -> tuple[float, float, float]:
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    machine_cfg = MachineConfig(socket=socket, socket_count=1)
+    results = {}
+    for app_name in ("CG", "EP"):
+        app = build_application(app_name, socket=socket)
+        default = run_application(
+            app,
+            DefaultController,
+            controller_cfg=cfg,
+            machine=SimulatedMachine(machine_cfg),
+            noise=noise,
+            seed=seed,
+            record_trace=False,
+        )
+        dufp = run_application(
+            app,
+            lambda: DUFP(cfg),
+            controller_cfg=cfg,
+            machine=SimulatedMachine(machine_cfg),
+            noise=noise,
+            seed=seed,
+            record_trace=False,
+        )
+        results[app_name] = (
+            100.0 * (dufp.execution_time_s / default.execution_time_s - 1.0),
+            100.0 * (1.0 - dufp.avg_package_power_w / default.avg_package_power_w),
+        )
+    cg_slow, cg_save = results["CG"]
+    _, ep_save = results["EP"]
+    return cg_slow, cg_save, ep_save
+
+
+def run_sensitivity(
+    parameters: list[str] | None = None,
+    factors: tuple[float, ...] = (0.8, 1.2),
+    noise: NoiseConfig | None = None,
+    seed: int = 77,
+) -> SensitivityResult:
+    """Perturb each parameter and re-measure the probe."""
+    names = parameters or list(PARAMETERS)
+    for name in names:
+        if name not in PARAMETERS:
+            raise ExperimentError(
+                f"unknown parameter {name!r}; available: {', '.join(PARAMETERS)}"
+            )
+    noise = noise or NoiseConfig(
+        duration_jitter=0.001, counter_noise=0.001, power_noise=0.001
+    )
+    base_socket = yeti_socket_config()
+    cg_slow, cg_save, ep_save = _probe(base_socket, noise, seed)
+    result = SensitivityResult(
+        baseline=SensitivityPoint("baseline", 1.0, cg_slow, cg_save, ep_save)
+    )
+    for name in names:
+        for factor in factors:
+            socket = PARAMETERS[name](base_socket, factor)
+            socket.validate()
+            cg_slow, cg_save, ep_save = _probe(socket, noise, seed)
+            result.points.append(
+                SensitivityPoint(name, factor, cg_slow, cg_save, ep_save)
+            )
+    return result

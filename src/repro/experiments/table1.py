@@ -1,0 +1,50 @@
+"""Table I: target architecture characteristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..sim.machine import yeti_machine
+
+__all__ = ["Table1Result", "table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The row of the paper's Table I, as reproduced by the simulator."""
+
+    cores: int
+    uncore_min_ghz: float
+    uncore_max_ghz: float
+    long_term_w: float
+    short_term_w: float
+
+    def render(self) -> str:
+        return format_table(
+            ["cores", "uncore frequency (GHz)", "long term (W)", "short term (W)"],
+            [
+                (
+                    self.cores,
+                    f"[{self.uncore_min_ghz:.1f}-{self.uncore_max_ghz:.1f}]",
+                    self.long_term_w,
+                    self.short_term_w,
+                )
+            ],
+            title="Table I: Target architecture characteristics",
+            float_fmt="{:.0f}",
+        )
+
+
+def table1() -> Table1Result:
+    """Regenerate Table I from the simulated yeti-2 machine."""
+    machine = yeti_machine(socket_count=4)
+    desc = machine.topology.describe()
+    lo, hi = desc["uncore_freq_ghz"]
+    return Table1Result(
+        cores=int(desc["cores"]),
+        uncore_min_ghz=float(lo),
+        uncore_max_ghz=float(hi),
+        long_term_w=float(desc["long_term_w"]),
+        short_term_w=float(desc["short_term_w"]),
+    )

@@ -1,0 +1,48 @@
+"""Simulated Skylake-SP hardware substrate.
+
+The modules in this package model one socket of the paper's testbed
+(Intel Xeon Gold 6130) at the granularity DUFP observes it: per-interval
+FLOP/byte/energy counters, core and uncore clock domains, and the RAPL
+power limiter.  :class:`repro.hardware.processor.SimulatedProcessor`
+composes the pieces; the other modules are usable on their own.
+"""
+
+from .topology import Core, Socket, Machine, build_machine
+from .msr import MSRFile, MSR
+from .dvfs import PStateDriver, PerformanceGovernor
+from .uncore import UncoreDriver, DefaultUncoreGovernor
+from .rapl import RAPLDomain, RAPLPackage, PowerLimit
+from .power import PackagePowerModel, PowerBreakdown
+from .thermal import ThermalModel
+from .gpu import GPUConfig, GPUKernel, SimulatedGPU, GPUState
+from .memory import MemorySystem
+from .perf import PhaseExecutionModel, ExecutionRates
+from .processor import SimulatedProcessor, ProcessorState
+
+__all__ = [
+    "Core",
+    "Socket",
+    "Machine",
+    "build_machine",
+    "MSRFile",
+    "MSR",
+    "PStateDriver",
+    "PerformanceGovernor",
+    "UncoreDriver",
+    "DefaultUncoreGovernor",
+    "RAPLDomain",
+    "RAPLPackage",
+    "PowerLimit",
+    "PackagePowerModel",
+    "PowerBreakdown",
+    "ThermalModel",
+    "GPUConfig",
+    "GPUKernel",
+    "SimulatedGPU",
+    "GPUState",
+    "MemorySystem",
+    "PhaseExecutionModel",
+    "ExecutionRates",
+    "SimulatedProcessor",
+    "ProcessorState",
+]

@@ -1,0 +1,189 @@
+"""A simulated GPU: the paper's future-work co-processor.
+
+The paper closes by asking whether a shared power budget can be shifted
+between a CPU and a GPU according to their needs (§VII).  This module
+supplies the GPU half at the same granularity as the CPU socket model:
+a roofline execution model (SM compute roof vs HBM bandwidth roof), a
+``P = static + k·V²·f`` power model over a boost-clock range, and an
+nvidia-smi-style software power limit that the device honours by
+down-clocking — the exact mechanism of ``nvidia-smi -pl``.
+
+The model is deliberately V100-shaped: ~7 TFLOP/s FP64, ~900 GB/s HBM2,
+250 W board power, 300 W limit ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, HardwareError, SimulationError
+from ..units import smooth_max
+
+__all__ = ["GPUConfig", "GPUKernel", "SimulatedGPU", "GPUState"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """A V100-class accelerator."""
+
+    #: Boost-clock range, Hz.
+    min_freq_hz: float = 0.8e9
+    max_freq_hz: float = 1.38e9
+    step_hz: float = 15e6
+    #: FP64 FLOPs per SM clock across the device (80 SMs x 32 lanes x 2).
+    flops_per_hz: float = 5120.0
+    #: HBM2 bandwidth, bytes/s (clock-independent in this model).
+    hbm_bw_bytes: float = 900e9
+    #: Idle/static board power, watts.
+    static_w: float = 40.0
+    #: Dynamic coefficient, watts per (GHz · V²).
+    k_dyn: float = 170.0
+    #: Voltage at the min/max boost clock.
+    v_min: float = 0.75
+    v_max: float = 1.00
+    #: Default software power limit (board TDP), watts.
+    power_limit_default_w: float = 250.0
+    #: Lowest accepted software power limit, watts.
+    power_limit_floor_w: float = 100.0
+
+    def validate(self) -> None:
+        if not 0 < self.min_freq_hz <= self.max_freq_hz:
+            raise ConfigurationError("GPU clock range invalid")
+        if self.step_hz <= 0 or self.flops_per_hz <= 0 or self.hbm_bw_bytes <= 0:
+            raise ConfigurationError("GPU throughput parameters must be positive")
+        if self.static_w < 0 or self.k_dyn <= 0:
+            raise ConfigurationError("GPU power parameters invalid")
+        if not 0 < self.v_min <= self.v_max:
+            raise ConfigurationError("GPU voltages invalid")
+        if not 0 < self.power_limit_floor_w <= self.power_limit_default_w:
+            raise ConfigurationError("GPU power limits invalid")
+
+    def voltage_at(self, freq_hz: float) -> float:
+        if self.max_freq_hz == self.min_freq_hz:
+            return self.v_max
+        t = (freq_hz - self.min_freq_hz) / (self.max_freq_hz - self.min_freq_hz)
+        t = min(max(t, 0.0), 1.0)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class GPUKernel:
+    """One kernel launch: FLOPs plus HBM traffic."""
+
+    name: str
+    flops: float
+    bytes: float
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise ConfigurationError(f"kernel {self.name!r}: negative work")
+        if self.flops == 0 and self.bytes == 0:
+            raise ConfigurationError(f"kernel {self.name!r}: no work")
+
+
+@dataclass(frozen=True)
+class GPUState:
+    """Snapshot after a step."""
+
+    time_s: float
+    freq_hz: float
+    power_w: float
+    flops_rate: float
+    utilisation: float
+
+
+@dataclass
+class SimulatedGPU:
+    """The device: clocks, power limit, kernel execution, energy."""
+
+    config: GPUConfig = field(default_factory=GPUConfig)
+    power_limit_w: float = 0.0
+    energy_j: float = 0.0
+    now_s: float = 0.0
+    _last_state: GPUState | None = None
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        if self.power_limit_w == 0.0:
+            self.power_limit_w = self.config.power_limit_default_w
+
+    # -- nvidia-smi style controls ---------------------------------------------
+
+    def set_power_limit(self, watts: float) -> None:
+        """``nvidia-smi -pl``: clamp the board's power target."""
+        cfg = self.config
+        if not cfg.power_limit_floor_w <= watts <= cfg.power_limit_default_w * 1.2:
+            raise HardwareError(
+                f"power limit {watts!r} W outside "
+                f"[{cfg.power_limit_floor_w}, {cfg.power_limit_default_w * 1.2}]"
+            )
+        self.power_limit_w = watts
+
+    def reset_power_limit(self) -> None:
+        self.power_limit_w = self.config.power_limit_default_w
+
+    # -- power/perf model ---------------------------------------------------------
+
+    def power_at(self, freq_hz: float, utilisation: float) -> float:
+        """Board power at a clock and utilisation."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise HardwareError("utilisation must be in [0, 1]")
+        v = self.config.voltage_at(freq_hz)
+        return self.config.static_w + self.config.k_dyn * v * v * (
+            freq_hz / 1e9
+        ) * (0.3 + 0.7 * utilisation)
+
+    def max_freq_under_limit(self, utilisation: float) -> float:
+        """Highest boost clock whose power fits the software limit."""
+        cfg = self.config
+        steps = int(round((cfg.max_freq_hz - cfg.min_freq_hz) / cfg.step_hz))
+        for i in range(steps, -1, -1):
+            f = cfg.min_freq_hz + i * cfg.step_hz
+            if self.power_at(f, utilisation) <= self.power_limit_w:
+                return f
+        return cfg.min_freq_hz
+
+    def kernel_time(self, kernel: GPUKernel, freq_hz: float) -> float:
+        """Roofline execution time of one kernel at a clock."""
+        t_c = kernel.flops / (self.config.flops_per_hz * freq_hz)
+        t_m = kernel.bytes / self.config.hbm_bw_bytes
+        return smooth_max(t_c, t_m, 4.0)
+
+    # -- stepping --------------------------------------------------------------------
+
+    def step(self, dt_s: float, kernel: GPUKernel | None) -> float:
+        """Advance ``dt_s`` running ``kernel`` (or idle); returns progress."""
+        if dt_s <= 0:
+            raise SimulationError("gpu step: non-positive dt")
+        if kernel is None:
+            freq = self.config.min_freq_hz
+            power = self.power_at(freq, 0.0)
+            progress = 0.0
+            rate = 0.0
+            util = 0.0
+        else:
+            # Utilisation: compute-roof share of the kernel's time.
+            t_full = self.kernel_time(kernel, self.config.max_freq_hz)
+            t_c = kernel.flops / (self.config.flops_per_hz * self.config.max_freq_hz)
+            util = min(t_c / t_full, 1.0) if t_full > 0 else 0.0
+            freq = self.max_freq_under_limit(util)
+            t = self.kernel_time(kernel, freq)
+            progress = dt_s / t
+            rate = kernel.flops / t
+            power = self.power_at(freq, util)
+        self.energy_j += power * dt_s
+        self.now_s += dt_s
+        self._last_state = GPUState(
+            time_s=self.now_s,
+            freq_hz=freq,
+            power_w=power,
+            flops_rate=rate,
+            utilisation=util,
+        )
+        return min(progress, 1.0)
+
+    @property
+    def state(self) -> GPUState:
+        if self._last_state is None:
+            raise SimulationError("gpu has not stepped yet")
+        return self._last_state

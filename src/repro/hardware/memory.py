@@ -1,0 +1,81 @@
+"""Memory subsystem: achievable bandwidth and DRAM power.
+
+The deliverable bandwidth of one socket is the minimum of three limits:
+
+* the DRAM channels themselves (``peak_bw_bytes``);
+* the uncore — mesh and memory controllers move ``bw_per_uncore_hz``
+  bytes per uncore cycle, so lowering the uncore frequency below the
+  saturation point cuts bandwidth linearly (this is the lever DUF pulls
+  and the cost it must watch);
+* the cores — outstanding-miss concurrency scales with core frequency
+  (``bw_per_core_hz`` per core), which is why deep power caps throttle
+  memory bandwidth even for pure streaming phases.  The paper floors
+  the dynamic cap at 65 W for exactly this reason.
+
+DRAM power is background (refresh, PLLs) plus an energy-per-byte term,
+the standard DDR4 activate/read/write accounting collapsed to a single
+coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CoreConfig, MemoryConfig, UncoreConfig
+
+__all__ = ["MemorySystem"]
+
+
+@dataclass
+class MemorySystem:
+    """Bandwidth roofline and DRAM power model of one socket."""
+
+    cfg: MemoryConfig
+    core_cfg: CoreConfig
+    uncore_cfg: UncoreConfig
+
+    def __post_init__(self) -> None:
+        self.cfg.validate()
+        self.core_cfg.validate()
+        self.uncore_cfg.validate()
+
+    def uncore_bw_limit(self, uncore_hz: float) -> float:
+        """Bandwidth ceiling imposed by the uncore clock, bytes/s."""
+        if uncore_hz <= 0:
+            raise ValueError("uncore frequency must be positive")
+        return min(self.cfg.peak_bw_bytes, self.cfg.bw_per_uncore_hz * uncore_hz)
+
+    def core_bw_limit(self, core_hz: float, active_cores: int | None = None) -> float:
+        """Bandwidth ceiling imposed by request concurrency, bytes/s."""
+        if core_hz <= 0:
+            raise ValueError("core frequency must be positive")
+        n = self.core_cfg.count if active_cores is None else active_cores
+        if n <= 0:
+            raise ValueError("active core count must be positive")
+        return self.cfg.bw_per_core_hz * core_hz * n
+
+    def achievable_bandwidth(
+        self, core_hz: float, uncore_hz: float, active_cores: int | None = None
+    ) -> float:
+        """Deliverable socket bandwidth at the given clocks, bytes/s."""
+        return min(
+            self.cfg.peak_bw_bytes,
+            self.uncore_bw_limit(uncore_hz),
+            self.core_bw_limit(core_hz, active_cores),
+        )
+
+    def saturation_uncore_hz(self) -> float:
+        """Lowest uncore frequency that still delivers peak bandwidth."""
+        return self.cfg.peak_bw_bytes / self.cfg.bw_per_uncore_hz
+
+    def traffic_utilisation(self, bandwidth_bytes: float) -> float:
+        """Fraction of peak bandwidth in use; clamped to [0, 1]."""
+        if bandwidth_bytes < 0:
+            raise ValueError("bandwidth must be non-negative")
+        return min(bandwidth_bytes / self.cfg.peak_bw_bytes, 1.0)
+
+    def dram_power(self, bandwidth_bytes: float) -> float:
+        """DRAM power at a sustained bandwidth, watts."""
+        if bandwidth_bytes < 0:
+            raise ValueError("bandwidth must be non-negative")
+        return self.cfg.dram_static_w + self.cfg.dram_energy_per_byte * bandwidth_bytes

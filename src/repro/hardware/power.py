@@ -1,0 +1,125 @@
+"""Package power model for one socket.
+
+``P_pkg = P_static + P_cores(f, activity) + P_uncore(fu, traffic)`` with
+
+* ``P_cores  = N · k_core · V(f)² · f_GHz · (a0 + (1-a0)·activity)``
+* ``P_uncore = k_uncore · Vu(fu)² · fu_GHz · (u0 + (1-u0)·traffic)``
+
+``activity`` is the retiring fraction of core cycles (compute-saturated
+phases ≈ 1, stall-heavy phases lower but far from zero — a stalled core
+still clocks); ``traffic`` is memory-bandwidth utilisation.  The model
+is the standard CMOS dynamic-power form the RAPL firmware itself uses
+for budgeting, and it is analytically invertible on the P-state grid,
+which is how the simulated RAPL limiter picks its frequency clamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CoreConfig, PowerModelConfig, UncoreConfig
+
+__all__ = ["PowerBreakdown", "PackagePowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component package power, watts."""
+
+    static_w: float
+    core_w: float
+    uncore_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.core_w + self.uncore_w
+
+
+@dataclass
+class PackagePowerModel:
+    """Analytical package power for one socket."""
+
+    core_cfg: CoreConfig
+    uncore_cfg: UncoreConfig
+    cfg: PowerModelConfig
+
+    def __post_init__(self) -> None:
+        self.core_cfg.validate()
+        self.uncore_cfg.validate()
+        self.cfg.validate()
+
+    # -- forward model ---------------------------------------------------------
+
+    def core_power(self, freq_hz: float, activity: float) -> float:
+        """Dynamic power of all cores at ``freq_hz`` with given activity."""
+        self._check_unit("activity", activity)
+        v = self.core_cfg.voltage_at(freq_hz)
+        a0 = self.cfg.core_idle_fraction
+        scale = a0 + (1.0 - a0) * activity
+        return self.core_cfg.count * self.cfg.k_core * v * v * (freq_hz / 1e9) * scale
+
+    def uncore_power(self, uncore_hz: float, traffic: float) -> float:
+        """Dynamic power of the uncore at ``uncore_hz`` with given traffic."""
+        self._check_unit("traffic", traffic)
+        v = self.uncore_cfg.voltage_at(uncore_hz)
+        u0 = self.cfg.uncore_idle_fraction
+        scale = u0 + (1.0 - u0) * traffic
+        return self.cfg.k_uncore * v * v * (uncore_hz / 1e9) * scale
+
+    def package_power(
+        self,
+        freq_hz: float,
+        uncore_hz: float,
+        activity: float,
+        traffic: float,
+        core_boost: float = 1.0,
+    ) -> PowerBreakdown:
+        """Full package power breakdown.
+
+        ``core_boost`` scales core dynamic power for high-current code
+        (wide-vector bursts) without touching the counters.
+        """
+        if core_boost <= 0:
+            raise ValueError("core_boost must be positive")
+        return PowerBreakdown(
+            static_w=self.cfg.static_w,
+            core_w=self.core_power(freq_hz, activity) * core_boost,
+            uncore_w=self.uncore_power(uncore_hz, traffic),
+        )
+
+    # -- inverse model (RAPL clamp selection) -----------------------------------
+
+    def max_core_freq_under(
+        self,
+        budget_w: float,
+        uncore_hz: float,
+        activity: float,
+        traffic: float,
+        core_boost: float = 1.0,
+    ) -> float:
+        """Highest P-state whose package power fits ``budget_w``.
+
+        Returns the minimum P-state when even that exceeds the budget —
+        RAPL cannot gate clocks entirely, it can only slow them, which
+        is why very low caps overshoot (and why the paper's DUFP resets
+        the cap when consumption exceeds it).
+        """
+        if core_boost <= 0:
+            raise ValueError("core_boost must be positive")
+        floor = self.core_cfg.min_freq_hz
+        non_core = self.cfg.static_w + self.uncore_power(uncore_hz, traffic)
+        budget_cores = budget_w - non_core
+        best = floor
+        cfg = self.core_cfg
+        n_steps = int(round((cfg.max_freq_hz - cfg.min_freq_hz) / cfg.step_hz))
+        for i in range(n_steps, -1, -1):
+            f = cfg.min_freq_hz + i * cfg.step_hz
+            if self.core_power(f, activity) * core_boost <= budget_cores:
+                best = f
+                break
+        return best
+
+    @staticmethod
+    def _check_unit(name: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")

@@ -1,0 +1,270 @@
+"""The composed socket model: clocks, power, RAPL, counters.
+
+:class:`SimulatedProcessor` wires one socket's subsystems together and
+advances them in lockstep.  Each :meth:`step` executes a slice of the
+current phase:
+
+1. the RAPL firmware converts its windowed power averages into an
+   instantaneous budget and clamps the core frequency so predicted
+   demand fits (using last step's activity — firmware always acts on
+   stale telemetry);
+2. the hardware uncore governor moves inside its programmed window
+   (unless DUF pinned it);
+3. the roofline model turns the resolved clocks into achieved FLOPS/s
+   and bytes/s, and those into package and DRAM power;
+4. energy counters, APERF/MPERF and the retired-FLOP/byte counters
+   advance — everything the PAPI layer exposes upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SocketConfig
+from ..errors import SimulationError
+from .dvfs import PStateDriver
+from .memory import MemorySystem
+from .msr import MSRFile
+from .perf import ExecutionRates, PhaseExecutionModel
+from .power import PackagePowerModel, PowerBreakdown
+from .rapl import RAPLPackage
+from .thermal import ThermalModel
+from .uncore import UncoreDriver
+
+__all__ = ["PhaseWork", "ProcessorState", "SimulatedProcessor"]
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """Character of the phase currently executing on this socket.
+
+    Volumes are the *whole phase's* FLOP/byte totals; the execution
+    model only uses their ratio plus ``fpc`` to derive rates, and the
+    engine tracks completion separately as a progress fraction.
+    """
+
+    flops: float
+    bytes: float
+    fpc: float
+    latency_sensitivity: float = 0.0
+    uncore_sensitivity: float = 0.0
+    #: Extra DRAM traffic factor when the uncore runs below the
+    #: bandwidth-saturation point (prefetcher mistraining); affects DRAM
+    #: power but not the counters the controller reads.
+    overfetch: float = 0.0
+    #: Core power multiplier (> 1 for high-current bursts such as wide
+    #: vector sections): raises demand without changing the FLOP rate,
+    #: so under a cap RAPL throttles while the 200 ms counters barely
+    #: move — the paper's LAMMPS aliasing.
+    power_boost: float = 1.0
+
+
+@dataclass(frozen=True)
+class ProcessorState:
+    """Snapshot of the socket after a step (one trace sample)."""
+
+    time_s: float
+    core_freq_hz: float
+    uncore_freq_hz: float
+    package: PowerBreakdown
+    dram_power_w: float
+    flops_rate: float
+    bytes_rate: float
+    bound: str
+    #: Package temperature, °C (``None`` when thermals are disabled).
+    temperature_c: float | None = None
+
+
+@dataclass
+class SimulatedProcessor:
+    """One socket of the simulated machine."""
+
+    config: SocketConfig
+    socket_id: int = 0
+    msrs: MSRFile = field(init=False)
+    dvfs: PStateDriver = field(init=False)
+    uncore: UncoreDriver = field(init=False)
+    rapl: RAPLPackage = field(init=False)
+    power_model: PackagePowerModel = field(init=False)
+    memory: MemorySystem = field(init=False)
+    perf: PhaseExecutionModel = field(init=False)
+    thermal: ThermalModel | None = field(init=False, default=None)
+
+    #: Cumulative retired floating-point operations.
+    flops_retired: float = 0.0
+    #: Cumulative DRAM bytes transferred.
+    bytes_transferred: float = 0.0
+    #: Simulated time on this socket.
+    now_s: float = 0.0
+
+    _prev_activity: float = 0.0
+    _prev_traffic: float = 0.0
+    _last_state: ProcessorState | None = None
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self.msrs = MSRFile()
+        self.dvfs = PStateDriver(self.config.core)
+        self.uncore = UncoreDriver(self.config.uncore)
+        self.rapl = RAPLPackage(self.config.rapl)
+        self.power_model = PackagePowerModel(
+            self.config.core, self.config.uncore, self.config.power
+        )
+        self.memory = MemorySystem(
+            self.config.memory, self.config.core, self.config.uncore
+        )
+        self.perf = PhaseExecutionModel(self.config.core, self.memory)
+        self.dvfs.attach_msrs(self.msrs)
+        self.uncore.attach_msrs(self.msrs)
+        self.rapl.attach_msrs(self.msrs)
+        if self.config.thermal is not None:
+            self.thermal = ThermalModel(self.config.thermal)
+            self.thermal.attach_msrs(self.msrs)
+
+    # -- main advance ---------------------------------------------------------------
+
+    def step(self, dt_s: float, work: PhaseWork | None) -> float:
+        """Advance ``dt_s`` executing ``work`` (or idling).
+
+        Returns the fraction of the phase completed during this step
+        (0.0 when idle).
+        """
+        if dt_s <= 0:
+            raise SimulationError("step: non-positive dt")
+
+        # 1. RAPL firmware: budget -> core frequency clamp.  The clamp
+        # uses last step's telemetry but the current demand multiplier:
+        # current spikes trip the voltage-regulator feedback within
+        # microseconds, faster than one engine step.
+        boost = work.power_boost if work is not None else 1.0
+        budget = self.rapl.allowed_power()
+        clamp = self.power_model.max_core_freq_under(
+            budget,
+            self.uncore.frequency_hz,
+            self._prev_activity,
+            self._prev_traffic,
+            core_boost=boost,
+        )
+        self.dvfs.set_rapl_clamp(clamp)
+
+        # 2. Hardware uncore governor moves inside its window.
+        self.uncore.advance(self._prev_traffic, self._prev_activity)
+
+        core_hz = self.dvfs.effective_freq()
+        # AVX frequency license (opt-in): wide-vector phases run under
+        # the derated all-core turbo regardless of the governor.
+        if (
+            work is not None
+            and work.fpc >= self.config.core.avx_license_fpc
+        ):
+            core_hz = min(core_hz, self.config.core.avx_max_freq_hz)
+        # PROCHOT: the thermal safety net beneath RAPL.
+        if self.thermal is not None and self.thermal.prochot:
+            core_hz = min(core_hz, self.dvfs.snap(self.thermal.freq_clamp_hz()))
+        uncore_hz = self.uncore.frequency_hz
+
+        # 3. Execute the phase slice.
+        if work is not None and (work.flops > 0 or work.bytes > 0):
+            rates = self.perf.instantaneous(
+                work.flops,
+                work.bytes,
+                work.fpc,
+                core_hz,
+                uncore_hz,
+                work.latency_sensitivity,
+                work.uncore_sensitivity,
+            )
+            progress = rates.progress_rate * dt_s
+        else:
+            rates = ExecutionRates(
+                flops_rate=0.0,
+                bytes_rate=0.0,
+                core_activity=0.0,
+                traffic_util=0.0,
+                progress_rate=0.0,
+                bound="idle",
+            )
+            progress = 0.0
+
+        # 4. Power, energy, counters.
+        pkg = self.power_model.package_power(
+            core_hz,
+            uncore_hz,
+            rates.core_activity,
+            rates.traffic_util,
+            core_boost=boost,
+        )
+        dram_traffic = rates.bytes_rate
+        if work is not None and work.overfetch > 0.0:
+            sat_hz = self.memory.saturation_uncore_hz()
+            if uncore_hz < sat_hz:
+                dram_traffic *= 1.0 + work.overfetch * (1.0 - uncore_hz / sat_hz)
+        dram_w = self.memory.dram_power(dram_traffic)
+        self.rapl.step(dt_s, pkg.total_w, dram_w)
+        if self.thermal is not None:
+            self.thermal.step(dt_s, pkg.total_w)
+        self.dvfs.advance(dt_s)
+        self.flops_retired += rates.flops_rate * dt_s
+        self.bytes_transferred += rates.bytes_rate * dt_s
+        self.now_s += dt_s
+        self._prev_activity = rates.core_activity
+        self._prev_traffic = rates.traffic_util
+        self._last_state = ProcessorState(
+            time_s=self.now_s,
+            core_freq_hz=core_hz,
+            uncore_freq_hz=uncore_hz,
+            package=pkg,
+            dram_power_w=dram_w,
+            flops_rate=rates.flops_rate,
+            bytes_rate=rates.bytes_rate,
+            bound=rates.bound,
+            temperature_c=(
+                self.thermal.temperature_c if self.thermal is not None else None
+            ),
+        )
+        return min(progress, 1.0)
+
+    def preview_progress_rate(self, work: PhaseWork) -> float:
+        """Estimate the phase progress rate at the *current* clocks.
+
+        Used by the engine to split a step at a phase boundary.  The
+        estimate ignores the intra-step clamp/governor updates, so the
+        actual :meth:`step` progress can differ slightly; callers must
+        treat it as a hint, not a guarantee.
+        """
+        if work.flops <= 0 and work.bytes <= 0:
+            return 0.0
+        core_hz = self.dvfs.effective_freq()
+        if work.fpc >= self.config.core.avx_license_fpc:
+            core_hz = min(core_hz, self.config.core.avx_max_freq_hz)
+        rates = self.perf.instantaneous(
+            work.flops,
+            work.bytes,
+            work.fpc,
+            core_hz,
+            self.uncore.frequency_hz,
+            work.latency_sensitivity,
+            work.uncore_sensitivity,
+        )
+        return rates.progress_rate
+
+    # -- views ------------------------------------------------------------------------
+
+    @property
+    def state(self) -> ProcessorState:
+        """Snapshot taken at the end of the most recent step."""
+        if self._last_state is None:
+            raise SimulationError("processor has not stepped yet")
+        return self._last_state
+
+    @property
+    def package_energy_j(self) -> float:
+        return self.rapl.package.total_energy_j
+
+    @property
+    def dram_energy_j(self) -> float:
+        return self.rapl.dram.total_energy_j
+
+    def default_power_budget_w(self) -> float:
+        """The socket's default long-term budget (Fig. 1's denominator)."""
+        return self.config.rapl.pl1_default_w

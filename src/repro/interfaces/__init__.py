@@ -1,0 +1,23 @@
+"""User-space views of the simulated hardware.
+
+These modules mimic the Linux interfaces the real DUFP tool stack uses —
+``/dev/cpu/*/msr`` (msr-tools), the powercap sysfs tree (libpowercap)
+and cpufreq sysfs — so controller code is written against the same
+contracts it would meet on metal.
+"""
+
+from .msr_tools import MSRTools
+from .powercap import PowercapTree, PowercapZone, PowercapConstraint
+from .cpufreq import CpufreqView
+from .turbostat import TurbostatRow, turbostat_report, turbostat_rows
+
+__all__ = [
+    "MSRTools",
+    "PowercapTree",
+    "PowercapZone",
+    "PowercapConstraint",
+    "CpufreqView",
+    "TurbostatRow",
+    "turbostat_report",
+    "turbostat_rows",
+]

@@ -1,0 +1,53 @@
+"""cpufreq sysfs view: frequencies and governor as Linux reports them.
+
+The experiments read ``scaling_cur_freq`` to produce Fig. 5 (the CPU
+frequency trace of core 0).  Values use cpufreq's kHz convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FrequencyError
+from ..hardware.dvfs import PStateDriver
+
+__all__ = ["CpufreqView"]
+
+
+@dataclass
+class CpufreqView:
+    """Read-only cpufreq attributes for the cores of one socket."""
+
+    dvfs: PStateDriver
+
+    @property
+    def scaling_cur_freq_khz(self) -> int:
+        """Current core frequency in kHz (all cores clock together)."""
+        return int(self.dvfs.effective_freq() / 1e3)
+
+    @property
+    def scaling_min_freq_khz(self) -> int:
+        return int(self.dvfs.config.min_freq_hz / 1e3)
+
+    @property
+    def scaling_max_freq_khz(self) -> int:
+        return int(self.dvfs.config.max_freq_hz / 1e3)
+
+    @property
+    def base_frequency_khz(self) -> int:
+        """intel_pstate's ``base_frequency`` attribute."""
+        return int(self.dvfs.config.base_freq_hz / 1e3)
+
+    @property
+    def scaling_governor(self) -> str:
+        return self.dvfs.governor.name
+
+    @property
+    def scaling_available_frequencies_khz(self) -> tuple[int, ...]:
+        return tuple(int(f / 1e3) for f in self.dvfs.available_pstates())
+
+    def aperf_mperf_freq_hz(self, aperf_delta: int, mperf_delta: int) -> float:
+        """Average frequency over an interval, the way turbostat derives it."""
+        if mperf_delta <= 0:
+            raise FrequencyError("aperf_mperf_freq_hz: non-positive MPERF delta")
+        return self.dvfs.measured_freq(aperf_delta, mperf_delta)

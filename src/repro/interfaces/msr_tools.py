@@ -1,0 +1,53 @@
+"""msr-tools-style access: ``rdmsr``/``wrmsr`` with field selection.
+
+The real DUF accesses the uncore ratio MSR through ``/dev/cpu/*/msr``.
+:class:`MSRTools` wraps a socket's :class:`~repro.hardware.msr.MSRFile`
+with the same conveniences the command-line tools offer: hex parsing,
+bit-range extraction (``rdmsr -f hi:lo``) and read-modify-write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MSRError
+from ..hardware.msr import MSRFile, get_bits, set_bits
+
+__all__ = ["MSRTools"]
+
+
+@dataclass
+class MSRTools:
+    """User-space MSR accessor bound to one socket's register file."""
+
+    msrs: MSRFile
+
+    def rdmsr(self, address: int | str, field: tuple[int, int] | None = None) -> int:
+        """Read an MSR; optionally extract bits ``(hi, lo)`` like ``-f``."""
+        addr = self._parse_address(address)
+        value = self.msrs.read(addr)
+        if field is not None:
+            hi, lo = field
+            return get_bits(value, hi, lo)
+        return value
+
+    def wrmsr(self, address: int | str, value: int) -> None:
+        """Write a full 64-bit MSR value."""
+        self.msrs.write(self._parse_address(address), value)
+
+    def update_field(self, address: int | str, hi: int, lo: int, bits: int) -> int:
+        """Read-modify-write bits ``hi:lo``; returns the new register value."""
+        addr = self._parse_address(address)
+        new = set_bits(self.msrs.read(addr), hi, lo, bits)
+        self.msrs.write(addr, new)
+        return new
+
+    @staticmethod
+    def _parse_address(address: int | str) -> int:
+        if isinstance(address, int):
+            return address
+        text = address.strip().lower()
+        try:
+            return int(text, 16 if text.startswith("0x") else 10)
+        except ValueError as exc:
+            raise MSRError(f"cannot parse MSR address {address!r}") from exc

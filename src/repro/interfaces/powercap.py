@@ -1,0 +1,229 @@
+"""Linux powercap sysfs emulation (the ``intel-rapl`` control type).
+
+The paper's DUFP performs power capping through the powercap library,
+which is a thin wrapper over sysfs nodes like::
+
+    /sys/class/powercap/intel-rapl:0/energy_uj
+    /sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw   # long term
+    /sys/class/powercap/intel-rapl:0/constraint_1_power_limit_uw   # short term
+    /sys/class/powercap/intel-rapl:0/constraint_0_time_window_us
+    /sys/class/powercap/intel-rapl:0:0/energy_uj                   # dram subzone
+
+This module reproduces that tree over the simulated RAPL devices: a
+string-keyed file view (:meth:`PowercapTree.read` / ``write``) plus the
+object API (:class:`PowercapZone`) the controllers use.  Units match
+sysfs: microwatts, microseconds, microjoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PowercapError
+from ..hardware.rapl import RAPLPackage
+from ..units import seconds_to_us, us_to_seconds, uw_to_watts, watts_to_uw
+
+__all__ = ["PowercapConstraint", "PowercapZone", "PowercapTree"]
+
+#: sysfs constraint index of the long-term (PL1) limit.
+LONG_TERM = 0
+#: sysfs constraint index of the short-term (PL2) limit.
+SHORT_TERM = 1
+
+
+@dataclass
+class PowercapConstraint:
+    """One ``constraint_<n>_*`` group of a zone."""
+
+    zone: "PowercapZone"
+    index: int
+
+    @property
+    def name(self) -> str:
+        return "long_term" if self.index == LONG_TERM else "short_term"
+
+    @property
+    def power_limit_uw(self) -> int:
+        pl = self.zone.rapl.pl1 if self.index == LONG_TERM else self.zone.rapl.pl2
+        return watts_to_uw(pl.limit_w)
+
+    @power_limit_uw.setter
+    def power_limit_uw(self, value: int) -> None:
+        self.zone.set_power_limit_uw(self.index, value)
+
+    @property
+    def time_window_us(self) -> int:
+        pl = self.zone.rapl.pl1 if self.index == LONG_TERM else self.zone.rapl.pl2
+        return seconds_to_us(pl.window_s)
+
+    @time_window_us.setter
+    def time_window_us(self, value: int) -> None:
+        self.zone.set_time_window_us(self.index, value)
+
+
+@dataclass
+class PowercapZone:
+    """One powercap zone (``intel-rapl:<socket>`` or its dram subzone)."""
+
+    name: str
+    rapl: RAPLPackage
+    domain: str = "package"  # "package" | "dram"
+    constraints: tuple[PowercapConstraint, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.domain not in ("package", "dram"):
+            raise PowercapError(f"unknown powercap domain {self.domain!r}")
+        if self.domain == "package":
+            self.constraints = (
+                PowercapConstraint(self, LONG_TERM),
+                PowercapConstraint(self, SHORT_TERM),
+            )
+        else:
+            # The paper's CPU does not support DRAM power capping; the
+            # dram zone is metering-only, exactly as on the testbed.
+            self.constraints = ()
+
+    # -- energy metering ---------------------------------------------------------
+
+    @property
+    def energy_uj(self) -> int:
+        domain = self.rapl.package if self.domain == "package" else self.rapl.dram
+        return int(domain.counter * domain.energy_unit_j * 1e6)
+
+    @property
+    def max_energy_range_uj(self) -> int:
+        domain = self.rapl.package if self.domain == "package" else self.rapl.dram
+        return int((1 << domain.counter_bits) * domain.energy_unit_j * 1e6)
+
+    # -- limit programming ----------------------------------------------------------
+
+    def set_power_limit_uw(self, constraint: int, value_uw: int) -> None:
+        """Write one constraint's power limit (microwatts).
+
+        Writing a long-term limit above the current short-term limit
+        drags the short-term limit up with it (the hardware honours the
+        effective minimum, so sysfs accepts either order).
+        """
+        self._require_package("power limit")
+        if value_uw <= 0:
+            raise PowercapError("power limit must be positive")
+        w = uw_to_watts(value_uw)
+        pl1 = self.rapl.pl1.limit_w
+        pl2 = self.rapl.pl2.limit_w
+        if constraint == LONG_TERM:
+            pl1 = w
+            pl2 = max(pl2, w)
+        elif constraint == SHORT_TERM:
+            pl2 = w
+            pl1 = min(pl1, w)
+        else:
+            raise PowercapError(f"zone has no constraint {constraint}")
+        self.rapl.set_limits(pl1, pl2)
+
+    def set_both_limits_uw(self, pl1_uw: int, pl2_uw: int) -> None:
+        """Atomically program both constraints (what DUFP does)."""
+        self._require_package("power limit")
+        if pl1_uw <= 0 or pl2_uw <= 0:
+            raise PowercapError("power limits must be positive")
+        self.rapl.set_limits(uw_to_watts(pl1_uw), uw_to_watts(pl2_uw))
+
+    def set_time_window_us(self, constraint: int, value_us: int) -> None:
+        self._require_package("time window")
+        if value_us <= 0:
+            raise PowercapError("time window must be positive")
+        window = us_to_seconds(value_us)
+        if constraint == LONG_TERM:
+            self.rapl.set_limits(
+                self.rapl.pl1.limit_w, self.rapl.pl2.limit_w, pl1_window_s=window
+            )
+        elif constraint == SHORT_TERM:
+            self.rapl.set_limits(
+                self.rapl.pl1.limit_w, self.rapl.pl2.limit_w, pl2_window_s=window
+            )
+        else:
+            raise PowercapError(f"zone has no constraint {constraint}")
+
+    def reset(self) -> None:
+        """Restore the zone's default limits (DUFP's cap reset)."""
+        self._require_package("reset")
+        self.rapl.reset_limits()
+
+    def _require_package(self, what: str) -> None:
+        if self.domain != "package":
+            raise PowercapError(
+                f"{what} not supported on the {self.domain} zone "
+                "(DRAM capping is unavailable on this CPU)"
+            )
+
+
+class PowercapTree:
+    """The whole ``/sys/class/powercap`` view over a set of sockets."""
+
+    def __init__(self, rapls: list[RAPLPackage]):
+        if not rapls:
+            raise PowercapError("powercap tree needs at least one package")
+        self.zones: dict[str, PowercapZone] = {}
+        for i, rapl in enumerate(rapls):
+            pkg = PowercapZone(f"intel-rapl:{i}", rapl, "package")
+            dram = PowercapZone(f"intel-rapl:{i}:0", rapl, "dram")
+            self.zones[pkg.name] = pkg
+            self.zones[dram.name] = dram
+
+    def zone(self, name: str) -> PowercapZone:
+        try:
+            return self.zones[name]
+        except KeyError:
+            raise PowercapError(f"no powercap zone {name!r}") from None
+
+    def package_zone(self, socket_id: int) -> PowercapZone:
+        return self.zone(f"intel-rapl:{socket_id}")
+
+    def dram_zone(self, socket_id: int) -> PowercapZone:
+        return self.zone(f"intel-rapl:{socket_id}:0")
+
+    # -- string file API (sysfs read/write) ------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a sysfs attribute, e.g. ``intel-rapl:0/energy_uj``."""
+        zone, attr = self._split(path)
+        if attr == "name":
+            return "package-0" if zone.domain == "package" else "dram"
+        if attr == "energy_uj":
+            return str(zone.energy_uj)
+        if attr == "max_energy_range_uj":
+            return str(zone.max_energy_range_uj)
+        if attr == "enabled":
+            return "1"
+        for c in zone.constraints:
+            if attr == f"constraint_{c.index}_name":
+                return c.name
+            if attr == f"constraint_{c.index}_power_limit_uw":
+                return str(c.power_limit_uw)
+            if attr == f"constraint_{c.index}_time_window_us":
+                return str(c.time_window_us)
+        raise PowercapError(f"no attribute {attr!r} in zone {zone.name!r}")
+
+    def write(self, path: str, value: str) -> None:
+        """Write a sysfs attribute (constraint limits/windows only)."""
+        zone, attr = self._split(path)
+        try:
+            number = int(value)
+        except ValueError as exc:
+            raise PowercapError(f"non-integer sysfs write {value!r}") from exc
+        for c in zone.constraints:
+            if attr == f"constraint_{c.index}_power_limit_uw":
+                zone.set_power_limit_uw(c.index, number)
+                return
+            if attr == f"constraint_{c.index}_time_window_us":
+                zone.set_time_window_us(c.index, number)
+                return
+        raise PowercapError(f"attribute {attr!r} is not writable in {zone.name!r}")
+
+    def _split(self, path: str) -> tuple[PowercapZone, str]:
+        path = path.strip("/")
+        if path.startswith("sys/class/powercap/"):
+            path = path[len("sys/class/powercap/") :]
+        if "/" not in path:
+            raise PowercapError(f"powercap path {path!r} has no attribute part")
+        zone_name, attr = path.rsplit("/", 1)
+        return self.zone(zone_name), attr

@@ -1,0 +1,101 @@
+"""A turbostat-style reporter over run traces.
+
+``turbostat`` is how one watches frequencies/power/temperature on the
+real machine; this gives the simulated machine the same operator view:
+per-interval rows of core/uncore frequency, package and DRAM power, the
+active cap and (when the thermal model is on) package temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..analysis.tables import format_table
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an interfaces <-> sim cycle
+    from ..sim.result import SocketResult
+
+__all__ = ["TurbostatRow", "turbostat_report", "turbostat_rows"]
+
+
+@dataclass(frozen=True)
+class TurbostatRow:
+    """One reporting interval."""
+
+    time_s: float
+    avg_ghz: float
+    uncore_ghz: float
+    pkg_watt: float
+    ram_watt: float
+    cap_watt: float
+    gflops: float
+
+
+def _aggregate(samples, start_idx: int, end_idx: int) -> TurbostatRow:
+    window = samples[start_idx:end_idx]
+    prev_t = samples[start_idx - 1].time_s if start_idx > 0 else 0.0
+    total_dt = window[-1].time_s - prev_t
+    if total_dt <= 0:
+        raise SimulationError("empty turbostat interval")
+
+    def mean(attr: str) -> float:
+        acc = 0.0
+        t0 = prev_t
+        for s in window:
+            acc += getattr(s, attr) * (s.time_s - t0)
+            t0 = s.time_s
+        return acc / total_dt
+
+    return TurbostatRow(
+        time_s=window[-1].time_s,
+        avg_ghz=mean("core_freq_hz") / 1e9,
+        uncore_ghz=mean("uncore_freq_hz") / 1e9,
+        pkg_watt=mean("package_power_w"),
+        ram_watt=mean("dram_power_w"),
+        cap_watt=window[-1].cap_w,
+        gflops=mean("flops_rate") / 1e9,
+    )
+
+
+def turbostat_rows(
+    socket: SocketResult, interval_s: float = 1.0
+) -> list[TurbostatRow]:
+    """Aggregate a socket's trace into reporting intervals."""
+    if not socket.trace:
+        raise SimulationError("run recorded no trace")
+    if interval_s <= 0:
+        raise SimulationError("interval must be positive")
+    rows: list[TurbostatRow] = []
+    start = 0
+    next_t = interval_s
+    for i, s in enumerate(socket.trace):
+        if s.time_s + 1e-12 >= next_t:
+            rows.append(_aggregate(socket.trace, start, i + 1))
+            start = i + 1
+            next_t += interval_s
+    if start < len(socket.trace):
+        rows.append(_aggregate(socket.trace, start, len(socket.trace)))
+    return rows
+
+
+def turbostat_report(socket: SocketResult, interval_s: float = 1.0) -> str:
+    """Render the trace like a turbostat session."""
+    rows = turbostat_rows(socket, interval_s)
+    return format_table(
+        ["Time_s", "Avg_GHz", "UNC_GHz", "PkgWatt", "RAMWatt", "Cap_W", "GFLOPS"],
+        [
+            (
+                r.time_s,
+                r.avg_ghz,
+                r.uncore_ghz,
+                r.pkg_watt,
+                r.ram_watt,
+                r.cap_watt,
+                r.gflops,
+            )
+            for r in rows
+        ],
+        title=f"turbostat (socket {socket.socket_id}, {interval_s:.1f} s intervals)",
+    )

@@ -1,0 +1,28 @@
+"""PAPI-style measurement layer over the simulated hardware.
+
+DUF and DUFP read FLOPS, memory bandwidth and energy through PAPI on
+the real machine.  This package reproduces the parts of the PAPI
+contract the controllers rely on: named events resolved through
+components, event-set lifecycle (create → add → start → read/stop),
+monotonically increasing raw counters with hardware wraparound, and a
+high-level interval meter that turns counter deltas into the derived
+rates (FLOPS/s, bytes/s, watts) the control algorithms consume.
+"""
+
+from .events import Event, EventRegistry, default_registry
+from .eventset import EventSet, EventSetState
+from .components import PerfComponent, RAPLComponent, bind_components
+from .highlevel import IntervalMeter, Measurement
+
+__all__ = [
+    "Event",
+    "EventRegistry",
+    "default_registry",
+    "EventSet",
+    "EventSetState",
+    "PerfComponent",
+    "RAPLComponent",
+    "bind_components",
+    "IntervalMeter",
+    "Measurement",
+]

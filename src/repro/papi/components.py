@@ -1,0 +1,92 @@
+"""PAPI components: the glue between events and the simulated socket.
+
+A component owns the raw-counter read path for its events.  Raw values
+behave like the hardware's: monotonically increasing except where the
+underlying register wraps (RAPL energy), in which case the wrapped
+value is surfaced and the event-set layer is responsible for delta
+arithmetic — same contract as real PAPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PAPIError
+from ..hardware.processor import SimulatedProcessor
+from .events import CACHE_LINE_BYTES, Event, EventRegistry, default_registry
+
+__all__ = ["PerfComponent", "RAPLComponent", "bind_components", "ComponentSet"]
+
+
+@dataclass
+class PerfComponent:
+    """perf_event + uncore counters of one socket."""
+
+    processor: SimulatedProcessor
+
+    def read_raw(self, event: Event) -> int:
+        if event.name == "PAPI_DP_OPS":
+            return int(self.processor.flops_retired)
+        if event.name == "skx_unc_imc::UNC_M_CAS_COUNT:ALL":
+            return int(self.processor.bytes_transferred / CACHE_LINE_BYTES)
+        raise PAPIError(f"perf component cannot read {event.name!r}")
+
+
+@dataclass
+class RAPLComponent:
+    """RAPL energy counters of one socket, scaled to nanojoules.
+
+    The PAPI rapl component multiplies the raw register by the energy
+    unit and reports nJ; the wrapped register makes the nJ value wrap
+    too, at ``2**32 × energy_unit × 1e9``.
+    """
+
+    processor: SimulatedProcessor
+
+    def read_raw(self, event: Event) -> int:
+        rapl = self.processor.rapl
+        if event.name.startswith("rapl:::PACKAGE_ENERGY"):
+            domain = rapl.package
+        elif event.name.startswith("rapl:::DRAM_ENERGY"):
+            domain = rapl.dram
+        else:
+            raise PAPIError(f"rapl component cannot read {event.name!r}")
+        return int(domain.counter * domain.energy_unit_j * 1e9)
+
+    def wrap_range_nj(self) -> int:
+        """The nJ value at which the scaled counter wraps."""
+        domain = self.processor.rapl.package
+        return int((1 << domain.counter_bits) * domain.energy_unit_j * 1e9)
+
+
+@dataclass
+class ComponentSet:
+    """All components of one socket plus the registry that names them."""
+
+    registry: EventRegistry
+    perf: PerfComponent
+    rapl: RAPLComponent
+
+    def read_raw(self, event: Event) -> int:
+        if event.component in ("perf_event", "perf_event_uncore"):
+            return self.perf.read_raw(event)
+        if event.component == "rapl":
+            return self.rapl.read_raw(event)
+        raise PAPIError(f"no component {event.component!r}")
+
+    def wrap_range(self, event: Event) -> int | None:
+        """Counter wrap modulus for the event, or ``None`` if monotonic."""
+        if event.component == "rapl":
+            return self.rapl.wrap_range_nj()
+        return None
+
+
+def bind_components(
+    processor: SimulatedProcessor, registry: EventRegistry | None = None
+) -> ComponentSet:
+    """Build the component set for one socket."""
+    return ComponentSet(
+        registry=registry or default_registry(),
+        perf=PerfComponent(processor),
+        rapl=RAPLComponent(processor),
+    )

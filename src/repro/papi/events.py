@@ -1,0 +1,109 @@
+"""PAPI event names, codes and the registry that resolves them.
+
+The names mirror the events the real tool uses on Skylake-SP:
+
+* ``PAPI_DP_OPS`` — retired double-precision FLOPs (preset);
+* ``skx_unc_imc::UNC_M_CAS_COUNT:ALL`` — DRAM CAS operations, one per
+  64-byte line, summed over the socket's memory controllers;
+* ``rapl:::PACKAGE_ENERGY:PACKAGE<n>`` / ``rapl:::DRAM_ENERGY:PACKAGE<n>``
+  — energy counters in nanojoules, as the PAPI rapl component scales
+  them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PAPIError
+
+__all__ = ["Event", "EventRegistry", "default_registry", "CACHE_LINE_BYTES"]
+
+#: DRAM transaction granularity: one CAS moves one 64-byte line.
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Event:
+    """A resolvable PAPI event."""
+
+    name: str
+    code: int
+    component: str
+    description: str
+    units: str
+
+
+class EventRegistry:
+    """Name → event resolution, as ``PAPI_event_name_to_code`` does."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Event] = {}
+        self._by_code: dict[int, Event] = {}
+
+    def register(self, event: Event) -> None:
+        if event.name in self._by_name:
+            raise PAPIError(f"event {event.name!r} already registered")
+        if event.code in self._by_code:
+            raise PAPIError(f"event code {event.code:#x} already registered")
+        self._by_name[event.name] = event
+        self._by_code[event.code] = event
+
+    def resolve(self, name_or_code: str | int) -> Event:
+        if isinstance(name_or_code, int):
+            event = self._by_code.get(name_or_code)
+        else:
+            event = self._by_name.get(name_or_code)
+        if event is None:
+            raise PAPIError(f"unknown PAPI event {name_or_code!r}")
+        return event
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_name))
+
+    def by_component(self, component: str) -> tuple[Event, ...]:
+        return tuple(
+            e for e in self._by_name.values() if e.component == component
+        )
+
+
+def default_registry(socket_count: int = 1) -> EventRegistry:
+    """The event set the DUFP tool stack uses, for ``socket_count`` sockets."""
+    reg = EventRegistry()
+    reg.register(
+        Event(
+            name="PAPI_DP_OPS",
+            code=0x80000068,
+            component="perf_event",
+            description="Retired double-precision floating-point operations",
+            units="ops",
+        )
+    )
+    reg.register(
+        Event(
+            name="skx_unc_imc::UNC_M_CAS_COUNT:ALL",
+            code=0x40000000,
+            component="perf_event_uncore",
+            description="DRAM CAS commands, all channels (64 B per count)",
+            units="transactions",
+        )
+    )
+    for sock in range(socket_count):
+        reg.register(
+            Event(
+                name=f"rapl:::PACKAGE_ENERGY:PACKAGE{sock}",
+                code=0x44000000 + 2 * sock,
+                component="rapl",
+                description=f"Package {sock} energy consumed",
+                units="nJ",
+            )
+        )
+        reg.register(
+            Event(
+                name=f"rapl:::DRAM_ENERGY:PACKAGE{sock}",
+                code=0x44000001 + 2 * sock,
+                component="rapl",
+                description=f"Package {sock} DRAM energy consumed",
+                units="nJ",
+            )
+        )
+    return reg

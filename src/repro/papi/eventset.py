@@ -1,0 +1,119 @@
+"""PAPI event-set lifecycle: create → add → start → read/accum → stop.
+
+Semantics follow the PAPI C API:
+
+* events can only be added while the set is stopped;
+* ``start`` latches the raw counters and zeroes the virtual ones;
+* ``read`` returns counts accumulated since ``start`` (or the last
+  ``reset``) without stopping;
+* ``stop`` returns the final counts and returns the set to stopped;
+* wrap-prone counters (RAPL energy) are delta-corrected modulo their
+  wrap range on every read, so a single wrap between consecutive reads
+  is invisible to callers — exactly what the PAPI rapl component does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import EventSetStateError, PAPIError
+from .components import ComponentSet
+from .events import Event
+
+__all__ = ["EventSet", "EventSetState"]
+
+
+class EventSetState(enum.Enum):
+    """PAPI event-set lifecycle states."""
+
+    STOPPED = "stopped"
+    RUNNING = "running"
+
+
+@dataclass
+class _Slot:
+    event: Event
+    #: Raw counter value at start / last read.
+    last_raw: int = 0
+    #: Accumulated virtual count since start/reset.
+    accumulated: int = 0
+
+
+@dataclass
+class EventSet:
+    """An ordered set of events counted together."""
+
+    components: ComponentSet
+    _slots: list[_Slot] = field(default_factory=list)
+    state: EventSetState = EventSetState.STOPPED
+
+    def add_event(self, name_or_code: str | int) -> None:
+        """Add an event by name or code; duplicates are rejected."""
+        if self.state is not EventSetState.STOPPED:
+            raise EventSetStateError("cannot add events to a running set")
+        event = self.components.registry.resolve(name_or_code)
+        if any(s.event.code == event.code for s in self._slots):
+            raise PAPIError(f"event {event.name!r} already in set")
+        self._slots.append(_Slot(event))
+
+    def remove_event(self, name_or_code: str | int) -> None:
+        if self.state is not EventSetState.STOPPED:
+            raise EventSetStateError("cannot remove events from a running set")
+        event = self.components.registry.resolve(name_or_code)
+        before = len(self._slots)
+        self._slots = [s for s in self._slots if s.event.code != event.code]
+        if len(self._slots) == before:
+            raise PAPIError(f"event {event.name!r} not in set")
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return tuple(s.event for s in self._slots)
+
+    def start(self) -> None:
+        if self.state is EventSetState.RUNNING:
+            raise EventSetStateError("event set already running")
+        if not self._slots:
+            raise EventSetStateError("cannot start an empty event set")
+        for slot in self._slots:
+            slot.last_raw = self.components.read_raw(slot.event)
+            slot.accumulated = 0
+        self.state = EventSetState.RUNNING
+
+    def _advance(self) -> None:
+        for slot in self._slots:
+            raw = self.components.read_raw(slot.event)
+            wrap = self.components.wrap_range(slot.event)
+            if wrap is None:
+                delta = raw - slot.last_raw
+                if delta < 0:
+                    raise PAPIError(
+                        f"monotonic counter {slot.event.name!r} went backwards"
+                    )
+            else:
+                delta = (raw - slot.last_raw) % wrap
+            slot.last_raw = raw
+            slot.accumulated += delta
+
+    def read(self) -> tuple[int, ...]:
+        """Counts since start/reset; the set keeps running."""
+        if self.state is not EventSetState.RUNNING:
+            raise EventSetStateError("read on a stopped event set")
+        self._advance()
+        return tuple(s.accumulated for s in self._slots)
+
+    def reset(self) -> None:
+        """Zero the virtual counters without stopping."""
+        if self.state is not EventSetState.RUNNING:
+            raise EventSetStateError("reset on a stopped event set")
+        self._advance()
+        for slot in self._slots:
+            slot.accumulated = 0
+
+    def stop(self) -> tuple[int, ...]:
+        """Final counts; the set returns to stopped."""
+        if self.state is not EventSetState.RUNNING:
+            raise EventSetStateError("stop on a stopped event set")
+        self._advance()
+        self.state = EventSetState.STOPPED
+        return tuple(s.accumulated for s in self._slots)

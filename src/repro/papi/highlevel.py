@@ -1,0 +1,105 @@
+"""High-level interval metering: the numbers the controllers consume.
+
+Every controller tick, DUFP needs four derived quantities for its
+socket: FLOPS/s, memory bandwidth, package power and DRAM power.
+:class:`IntervalMeter` owns an event set with the four underlying
+events, reads it once per tick, and converts deltas to rates.
+
+Real measurements are noisy — the paper keeps an explicit
+"equivalent within measurement error" branch in the algorithm because
+of it — so the meter optionally injects multiplicative Gaussian noise
+from a seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PAPIError
+from ..hardware.processor import SimulatedProcessor
+from .components import bind_components
+from .events import CACHE_LINE_BYTES
+from .eventset import EventSet
+
+__all__ = ["Measurement", "IntervalMeter"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Derived rates over one controller interval."""
+
+    #: Interval length, seconds.
+    dt_s: float
+    #: Floating-point rate, FLOP/s.
+    flops_per_s: float
+    #: Memory bandwidth, bytes/s.
+    bytes_per_s: float
+    #: Average package power, watts.
+    package_power_w: float
+    #: Average DRAM power, watts.
+    dram_power_w: float
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPS/s over bandwidth, the paper's phase classifier.
+
+        Returns ``inf`` for an interval with no measured memory traffic
+        (a compute-only phase is infinitely CPU-intensive).
+        """
+        if self.bytes_per_s <= 0.0:
+            return float("inf")
+        return self.flops_per_s / self.bytes_per_s
+
+
+@dataclass
+class IntervalMeter:
+    """Per-socket measurement front-end for the controllers."""
+
+    processor: SimulatedProcessor
+    socket_id: int = 0
+    rng: np.random.Generator | None = None
+    counter_noise: float = 0.0
+    power_noise: float = 0.0
+    _events: EventSet = field(init=False)
+    _started: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.counter_noise < 0 or self.power_noise < 0:
+            raise PAPIError("noise levels must be non-negative")
+        if (self.counter_noise or self.power_noise) and self.rng is None:
+            raise PAPIError("noise injection requires a seeded generator")
+        components = bind_components(self.processor)
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        es.add_event("skx_unc_imc::UNC_M_CAS_COUNT:ALL")
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+        es.add_event("rapl:::DRAM_ENERGY:PACKAGE0")
+        self._events = es
+
+    def start(self) -> None:
+        """Begin metering; the first :meth:`sample` measures from here."""
+        self._events.start()
+        self._started = True
+
+    def sample(self, dt_s: float) -> Measurement:
+        """Read the interval that just elapsed and reset for the next."""
+        if not self._started:
+            raise PAPIError("IntervalMeter.sample before start()")
+        if dt_s <= 0:
+            raise PAPIError("sample: non-positive interval")
+        flops, cas, pkg_nj, dram_nj = self._events.read()
+        self._events.reset()
+        return Measurement(
+            dt_s=dt_s,
+            flops_per_s=self._noisy(flops / dt_s, self.counter_noise),
+            bytes_per_s=self._noisy(cas * CACHE_LINE_BYTES / dt_s, self.counter_noise),
+            package_power_w=self._noisy(pkg_nj * 1e-9 / dt_s, self.power_noise),
+            dram_power_w=self._noisy(dram_nj * 1e-9 / dt_s, self.power_noise),
+        )
+
+    def _noisy(self, value: float, sigma: float) -> float:
+        if sigma <= 0.0 or self.rng is None or value == 0.0:
+            return value
+        return max(value * (1.0 + sigma * self.rng.standard_normal()), 0.0)

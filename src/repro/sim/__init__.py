@@ -1,0 +1,30 @@
+"""Discrete-time co-simulation of machine, workload and controllers."""
+
+from .machine import SimulatedMachine, yeti_machine
+from .result import RunResult, TraceSample, PhaseSpan, SocketResult
+from .engine import SimulationEngine
+from .run import run_application
+from .export import (
+    run_summary,
+    trace_csv_string,
+    write_summary_json,
+    write_trace_csv,
+)
+from .hetero import HeteroEngine, HeteroResult
+
+__all__ = [
+    "SimulatedMachine",
+    "yeti_machine",
+    "RunResult",
+    "TraceSample",
+    "PhaseSpan",
+    "SocketResult",
+    "SimulationEngine",
+    "run_application",
+    "run_summary",
+    "trace_csv_string",
+    "write_summary_json",
+    "write_trace_csv",
+    "HeteroEngine",
+    "HeteroResult",
+]

@@ -1,0 +1,202 @@
+"""The co-simulation loop: machine, application and controllers.
+
+Time advances in fixed macro steps (default 10 ms).  Within a step each
+socket executes its current phase; steps are split at phase boundaries
+so short phases (LAMMPS's 30–60 ms bursts) are timed accurately rather
+than rounded to the step grid.  After every step the controller runtime
+fires any measurement ticks that became due — the controllers only ever
+see the machine through their PAPI meters, never the engine's ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ControllerConfig, EngineConfig, NoiseConfig
+from ..core.base import Controller
+from ..core.runtime import ControllerRuntime
+from ..errors import SimulationError
+from ..workloads.application import Application
+from .machine import SimulatedMachine
+from .result import PhaseSpan, RunResult, SocketResult, TraceSample
+
+__all__ = ["SimulationEngine"]
+
+#: Completion tolerance on a phase's progress fraction.
+_DONE_EPS = 1e-9
+#: Smallest step slice worth simulating separately.
+_MIN_SLICE_S = 1e-5
+
+
+@dataclass
+class _SocketProgress:
+    """Execution cursor of one socket through the phase list."""
+
+    phase_index: int = 0
+    fraction_done: float = 0.0
+    finish_time_s: float | None = None
+    phase_start_s: float = 0.0
+    spans: list[PhaseSpan] = field(default_factory=list)
+
+
+@dataclass
+class SimulationEngine:
+    """Runs one application (or one per socket) under one controller set."""
+
+    machine: SimulatedMachine
+    application: Application | list[Application]
+    controllers: list[Controller]
+    controller_cfg: ControllerConfig
+    engine_cfg: EngineConfig = field(default_factory=EngineConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    seed: int | None = None
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        self.engine_cfg.validate()
+        self.noise.validate()
+        if len(self.controllers) != self.machine.socket_count:
+            raise SimulationError(
+                "one controller per socket required "
+                f"({self.machine.socket_count} sockets, {len(self.controllers)} controllers)"
+            )
+        if isinstance(self.application, list):
+            if len(self.application) != self.machine.socket_count:
+                raise SimulationError(
+                    "per-socket applications must match the socket count "
+                    f"({self.machine.socket_count} sockets, "
+                    f"{len(self.application)} applications)"
+                )
+        interval = self.controller_cfg.interval_s
+        dt = self.engine_cfg.dt_s
+        if abs(interval / dt - round(interval / dt)) > 1e-9:
+            raise SimulationError(
+                f"engine step {dt}s must divide the controller interval {interval}s"
+            )
+
+    def run(self) -> RunResult:
+        """Execute the application(s) to completion on every socket."""
+        rng = np.random.default_rng(
+            self.seed if self.seed is not None else self.noise.seed
+        )
+        # Per-socket work copies with run-to-run jitter.  A list gives
+        # each socket its own application (heterogeneous node).
+        if isinstance(self.application, list):
+            base_apps = self.application
+        else:
+            base_apps = [self.application] * self.machine.socket_count
+        socket_apps = [
+            app.jittered(rng, self.noise.duration_jitter) for app in base_apps
+        ]
+        runtime = ControllerRuntime(
+            processors=self.machine.processors,
+            controllers=self.controllers,
+            cfg=self.controller_cfg,
+            rng=rng,
+            counter_noise=self.noise.counter_noise,
+            power_noise=self.noise.power_noise,
+        )
+        runtime.start()
+
+        progress = [_SocketProgress() for _ in range(self.machine.socket_count)]
+        traces: list[list[TraceSample]] = [
+            [] for _ in range(self.machine.socket_count)
+        ]
+        now = 0.0
+        dt = self.engine_cfg.dt_s
+
+        while any(p.finish_time_s is None for p in progress):
+            if now >= self.engine_cfg.max_sim_time_s:
+                raise SimulationError(
+                    f"simulation exceeded {self.engine_cfg.max_sim_time_s}s "
+                    f"(application {self.application!r} stuck?)"
+                )
+            for sid, proc in enumerate(self.machine.processors):
+                self._advance_socket(
+                    proc, socket_apps[sid], progress[sid], now, dt
+                )
+                if self.record_trace:
+                    s = proc.state
+                    traces[sid].append(
+                        TraceSample(
+                            time_s=s.time_s,
+                            core_freq_hz=s.core_freq_hz,
+                            uncore_freq_hz=s.uncore_freq_hz,
+                            package_power_w=s.package.total_w,
+                            dram_power_w=s.dram_power_w,
+                            cap_w=proc.rapl.pl1.limit_w,
+                            flops_rate=s.flops_rate,
+                            bytes_rate=s.bytes_rate,
+                            temperature_c=s.temperature_c,
+                        )
+                    )
+            now += dt
+            runtime.on_time(now)
+
+        sockets = []
+        for sid, proc in enumerate(self.machine.processors):
+            p = progress[sid]
+            assert p.finish_time_s is not None
+            sockets.append(
+                SocketResult(
+                    socket_id=sid,
+                    finish_time_s=p.finish_time_s,
+                    package_energy_j=proc.package_energy_j,
+                    dram_energy_j=proc.dram_energy_j,
+                    trace=traces[sid],
+                    phases=p.spans,
+                )
+            )
+        if isinstance(self.application, list):
+            app_name = "+".join(dict.fromkeys(a.name for a in self.application))
+        else:
+            app_name = self.application.name
+        return RunResult(
+            app_name=app_name,
+            controller_name=self.controllers[0].name,
+            sockets=sockets,
+        )
+
+    # -- one socket, one macro step ------------------------------------------------
+
+    def _advance_socket(
+        self,
+        proc,
+        app: Application,
+        p: _SocketProgress,
+        step_start_s: float,
+        dt: float,
+    ) -> None:
+        remaining_dt = dt
+        while remaining_dt > 0.0:
+            if p.phase_index >= len(app.phases):
+                # Application finished: the socket idles out the run
+                # (waiting on the slowest socket's barrier).
+                if p.finish_time_s is None:
+                    p.finish_time_s = step_start_s + (dt - remaining_dt)
+                proc.step(remaining_dt, None)
+                return
+            phase = app.phases[p.phase_index]
+            work = phase.to_work()
+            rate = proc.preview_progress_rate(work)
+            if rate <= 0.0:
+                raise SimulationError(f"phase {phase.name!r} makes no progress")
+            time_to_finish = (1.0 - p.fraction_done) / rate
+            slice_s = min(remaining_dt, max(time_to_finish, _MIN_SLICE_S))
+            made = proc.step(slice_s, work)
+            p.fraction_done += made
+            remaining_dt -= slice_s
+            if p.fraction_done >= 1.0 - _DONE_EPS or (
+                time_to_finish <= slice_s + _MIN_SLICE_S
+                and p.fraction_done >= 1.0 - 1e-3
+            ):
+                end = step_start_s + (dt - remaining_dt)
+                p.spans.append(
+                    PhaseSpan(name=phase.name, start_s=p.phase_start_s, end_s=end)
+                )
+                p.phase_index += 1
+                p.fraction_done = 0.0
+                p.phase_start_s = end

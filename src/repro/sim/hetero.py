@@ -1,0 +1,211 @@
+"""CPU + GPU co-simulation under a shared power budget.
+
+The paper's final future-work question (§VII): "With a specified shared
+power budget to distribute over a CPU and a GPU, can we benefit from
+dynamic power capping to reduce the budget of the CPU when it does not
+need it and increase the GPU power budget?"  This engine answers it on
+the repro substrate: one CPU socket running a phase application and one
+GPU running a kernel queue, with a coordinator re-splitting one budget
+between the CPU's RAPL cap and the GPU's software power limit every
+re-allocation period.
+
+The split policy mirrors :mod:`repro.core.budget`'s tolerance-aware
+demand: a device meeting its tolerated slowdown offers watts back; a
+throttled device bids above its current limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ControllerConfig, SocketConfig, yeti_socket_config
+from ..core.budget import allocate_budget
+from ..core.tolerance import SlowdownTracker, ToleranceVerdict
+from ..errors import SimulationError
+from ..hardware.gpu import GPUConfig, GPUKernel, SimulatedGPU
+from ..hardware.processor import SimulatedProcessor
+from ..workloads.application import Application
+from ..workloads.phase import NominalRates
+
+__all__ = ["HeteroResult", "HeteroEngine"]
+
+
+@dataclass
+class HeteroResult:
+    """Outcome of one shared-budget CPU+GPU run."""
+
+    cpu_finish_s: float
+    gpu_finish_s: float
+    cpu_energy_j: float
+    gpu_energy_j: float
+    #: (time, cpu_alloc, gpu_alloc) per re-allocation.
+    allocations: list[tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(self.cpu_finish_s, self.gpu_finish_s)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.cpu_energy_j + self.gpu_energy_j
+
+
+@dataclass
+class HeteroEngine:
+    """One CPU socket + one GPU under a shared budget."""
+
+    application: Application
+    kernels: list[GPUKernel]
+    total_budget_w: float
+    cfg: ControllerConfig = field(default_factory=ControllerConfig)
+    socket_cfg: SocketConfig = field(default_factory=yeti_socket_config)
+    gpu_cfg: GPUConfig = field(default_factory=GPUConfig)
+    dt_s: float = 0.01
+    #: Re-allocate every this many seconds.
+    realloc_period_s: float = 1.0
+    #: Coordinated mode; ``False`` freezes a static half/half-ish split.
+    coordinated: bool = True
+    max_sim_time_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        self.cfg.validate()
+        self.socket_cfg.validate()
+        self.gpu_cfg.validate()
+        if not self.kernels:
+            raise SimulationError("GPU needs at least one kernel")
+        floor = self.cfg.cap_floor_w + self.gpu_cfg.power_limit_floor_w
+        if self.total_budget_w < floor:
+            raise SimulationError(
+                f"budget {self.total_budget_w} W below the combined floor {floor} W"
+            )
+
+    def run(self) -> HeteroResult:
+        cpu = SimulatedProcessor(self.socket_cfg)
+        gpu = SimulatedGPU(self.gpu_cfg)
+        cpu_tracker = SlowdownTracker(
+            self.cfg.tolerated_slowdown, self.cfg.measurement_error
+        )
+        gpu_tracker = SlowdownTracker(
+            self.cfg.tolerated_slowdown, self.cfg.measurement_error
+        )
+        # Reference rates: what each phase/kernel achieves uncapped.
+        # Seeding the trackers with the model-derived nominal keeps the
+        # verdicts meaningful even though the devices start capped (a
+        # throttled device must not mistake its first throttled sample
+        # for full performance).
+        nominal = NominalRates(self.socket_cfg)
+        cpu_ref = [
+            p.flops / nominal.duration(p) if p.flops > 0 else 0.0
+            for p in self.application.phases
+        ]
+        gpu_ref = [
+            k.flops / gpu.kernel_time(k, self.gpu_cfg.max_freq_hz)
+            for k in self.kernels
+        ]
+
+        # Initial split: the naive halves a datacentre operator would
+        # configure without workload knowledge.  Static mode keeps it;
+        # coordinated mode starts here and adapts.
+        cpu_default = self.socket_cfg.rapl.pl1_default_w
+        gpu_default = self.gpu_cfg.power_limit_default_w
+        cpu_alloc = self.total_budget_w / 2.0
+        gpu_alloc = self.total_budget_w / 2.0
+        result = HeteroResult(0.0, 0.0, 0.0, 0.0)
+
+        def apply(now: float) -> None:
+            nonlocal cpu_alloc, gpu_alloc
+            cpu_alloc = min(max(cpu_alloc, self.cfg.cap_floor_w), cpu_default)
+            gpu_alloc = min(
+                max(gpu_alloc, self.gpu_cfg.power_limit_floor_w), gpu_default
+            )
+            cpu.rapl.set_limits(cpu_alloc, cpu_alloc)
+            gpu.set_power_limit(gpu_alloc)
+            result.allocations.append((now, cpu_alloc, gpu_alloc))
+
+        apply(0.0)
+
+        now = 0.0
+        next_realloc = self.realloc_period_s
+        cpu_phase = 0
+        cpu_done_frac = 0.0
+        gpu_kernel = 0
+        gpu_done_frac = 0.0
+        cpu_finish = gpu_finish = None
+
+        while cpu_finish is None or gpu_finish is None:
+            if now >= self.max_sim_time_s:
+                raise SimulationError("hetero simulation exceeded the time limit")
+
+            # CPU side.
+            if cpu_phase < len(self.application.phases):
+                if cpu_done_frac == 0.0:
+                    cpu_tracker.reset(cpu_ref[cpu_phase])
+                phase = self.application.phases[cpu_phase]
+                made = cpu.step(self.dt_s, phase.to_work())
+                cpu_done_frac += made
+                if cpu_done_frac >= 1.0 - 1e-9:
+                    cpu_phase += 1
+                    cpu_done_frac = 0.0
+            else:
+                cpu.step(self.dt_s, None)
+                if cpu_finish is None:
+                    cpu_finish = now
+
+            # GPU side.
+            if gpu_kernel < len(self.kernels):
+                if gpu_done_frac == 0.0:
+                    gpu_tracker.reset(gpu_ref[gpu_kernel])
+                kernel = self.kernels[gpu_kernel]
+                made = gpu.step(self.dt_s, kernel)
+                gpu_done_frac += made
+                if gpu_done_frac >= 1.0 - 1e-9:
+                    gpu_kernel += 1
+                    gpu_done_frac = 0.0
+            else:
+                gpu.step(self.dt_s, None)
+                if gpu_finish is None:
+                    gpu_finish = now
+
+            now += self.dt_s
+
+            if self.coordinated and now + 1e-9 >= next_realloc:
+                next_realloc += self.realloc_period_s
+                demands = []
+                for tracker, power, limit, floor in (
+                    (
+                        cpu_tracker,
+                        cpu.state.package.total_w,
+                        cpu_alloc,
+                        self.cfg.cap_floor_w,
+                    ),
+                    (
+                        gpu_tracker,
+                        gpu.state.power_w,
+                        gpu_alloc,
+                        self.gpu_cfg.power_limit_floor_w,
+                    ),
+                ):
+                    verdict = tracker.judge(
+                        cpu.state.flops_rate if tracker is cpu_tracker else gpu.state.flops_rate
+                    )
+                    if verdict is ToleranceVerdict.BELOW:
+                        demands.append(limit + 2 * self.cfg.cap_step_w)
+                    elif verdict is ToleranceVerdict.WITHIN:
+                        demands.append(max(power - self.cfg.cap_step_w, floor))
+                    else:
+                        demands.append(power)
+                floor = min(self.cfg.cap_floor_w, self.gpu_cfg.power_limit_floor_w)
+                alloc = allocate_budget(
+                    demands,
+                    self.total_budget_w,
+                    floor,
+                    ceiling_w=max(cpu_default, gpu_default),
+                )
+                cpu_alloc, gpu_alloc = alloc
+                apply(now)
+
+        result.cpu_finish_s = cpu_finish
+        result.gpu_finish_s = gpu_finish
+        result.cpu_energy_j = cpu.package_energy_j
+        result.gpu_energy_j = gpu.energy_j
+        return result

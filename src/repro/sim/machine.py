@@ -1,0 +1,55 @@
+"""Machine instantiation: topology plus live processor models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig, yeti_machine_config
+from ..errors import SimulationError
+from ..hardware.processor import SimulatedProcessor
+from ..hardware.topology import Machine, build_machine
+
+__all__ = ["SimulatedMachine", "yeti_machine"]
+
+
+@dataclass
+class SimulatedMachine:
+    """A node: static topology plus one live processor model per socket."""
+
+    config: MachineConfig
+    topology: Machine = field(init=False)
+    processors: list[SimulatedProcessor] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self.topology = build_machine(self.config)
+        self.processors = [
+            SimulatedProcessor(self.config.socket, socket_id=s.socket_id)
+            for s in self.topology.sockets
+        ]
+
+    @property
+    def socket_count(self) -> int:
+        return len(self.processors)
+
+    def processor(self, socket_id: int) -> SimulatedProcessor:
+        if not 0 <= socket_id < len(self.processors):
+            raise SimulationError(f"no socket {socket_id}")
+        return self.processors[socket_id]
+
+    def default_power_budget_w(self) -> float:
+        """Per-socket default budget (the paper's Fig. 1 denominator)."""
+        return self.config.socket.rapl.pl1_default_w
+
+
+def yeti_machine(socket_count: int = 1) -> SimulatedMachine:
+    """A yeti-2-style machine.
+
+    The paper's node has four identical sockets, each running its own
+    DUFP instance on a statistically identical share of the OpenMP
+    work; per-socket metrics are therefore independent, and the
+    experiments default to simulating one socket for speed.  Pass
+    ``socket_count=4`` for the full node.
+    """
+    cfg = yeti_machine_config(socket_count=socket_count)
+    return SimulatedMachine(cfg)

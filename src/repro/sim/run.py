@@ -1,0 +1,50 @@
+"""Top-level entry point: run one application under one controller."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import ControllerConfig, EngineConfig, NoiseConfig
+from ..core.base import Controller
+from ..workloads.application import Application
+from .engine import SimulationEngine
+from .machine import SimulatedMachine, yeti_machine
+
+__all__ = ["run_application"]
+
+
+def run_application(
+    application: Application | list[Application],
+    controller_factory: Callable[[], Controller],
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    machine: SimulatedMachine | None = None,
+    socket_count: int = 1,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    seed: int | None = None,
+    record_trace: bool = True,
+):
+    """Simulate ``application`` with a fresh controller per socket.
+
+    ``controller_factory`` is called once per socket, mirroring the
+    paper's "one instance of DUFP is started on each socket".  Passing
+    a *list* of applications assigns one per socket (a heterogeneous
+    node).  A fresh machine is built unless one is supplied (machines
+    are stateful and must not be reused across runs).
+    """
+    if isinstance(application, list) and machine is None and socket_count == 1:
+        socket_count = len(application)
+    machine = machine or yeti_machine(socket_count)
+    cfg = controller_cfg or ControllerConfig()
+    engine = SimulationEngine(
+        machine=machine,
+        application=application,
+        controllers=[controller_factory() for _ in range(machine.socket_count)],
+        controller_cfg=cfg,
+        engine_cfg=engine_cfg or EngineConfig(),
+        noise=noise or NoiseConfig(),
+        seed=seed,
+        record_trace=record_trace,
+    )
+    return engine.run()

@@ -1,0 +1,49 @@
+"""Synthetic phase-level models of the paper's ten applications.
+
+The paper evaluates DUFP on eight NAS Parallel Benchmarks (BT, CG, EP,
+FT, LU, MG, SP, UA), HPL and LAMMPS.  DUFP never inspects application
+code — it only sees per-interval FLOPS/s, memory bandwidth and power —
+so each application is modelled as the sequence of execution phases
+that produces the paper's counter signatures: per-phase FLOP/byte
+volumes, achievable FLOPs-per-cycle, and sensitivity of the phase to
+the uncore clock.  Section IV-B's observed behaviours (CG's long
+memory-only setup, UA's 1-compute / N-memory alternation, LAMMPS's
+sub-interval power bursts, …) are encoded structurally.
+"""
+
+from .phase import Phase, phase_from_duration, NominalRates
+from .application import Application
+from .npb import bt, cg, ep, ft, lu, mg, sp, ua
+from .hpl import hpl
+from .lammps import lammps
+from .generator import random_application
+from .traces import TraceSample, application_from_trace, measurements_from_run
+from .catalog import APPLICATIONS, build_application, application_names
+from .suites import SUITES, suite, suite_names
+
+__all__ = [
+    "Phase",
+    "phase_from_duration",
+    "NominalRates",
+    "Application",
+    "bt",
+    "cg",
+    "ep",
+    "ft",
+    "lu",
+    "mg",
+    "sp",
+    "ua",
+    "hpl",
+    "lammps",
+    "random_application",
+    "TraceSample",
+    "application_from_trace",
+    "measurements_from_run",
+    "APPLICATIONS",
+    "build_application",
+    "application_names",
+    "SUITES",
+    "suite",
+    "suite_names",
+]

@@ -1,0 +1,89 @@
+"""Applications: ordered phase sequences with iteration structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SocketConfig, yeti_socket_config
+from ..errors import WorkloadError
+from .phase import NominalRates, Phase
+
+__all__ = ["Application"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """A complete run of one benchmark on one socket.
+
+    The same phase list executes on every socket of the machine (the
+    paper spreads OpenMP threads round-robin over all four sockets, so
+    sockets see statistically identical work).
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    #: Free-form description of the iteration structure, for reports.
+    structure: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"application {self.name!r} has no phases")
+
+    @staticmethod
+    def from_pattern(
+        name: str,
+        *,
+        setup: list[Phase] | None = None,
+        loop: list[Phase] | None = None,
+        iterations: int = 1,
+        teardown: list[Phase] | None = None,
+        structure: str = "",
+    ) -> "Application":
+        """Compose setup + ``iterations`` × loop + teardown."""
+        if iterations < 0:
+            raise WorkloadError("iterations must be non-negative")
+        phases: list[Phase] = list(setup or [])
+        for i in range(iterations):
+            for p in loop or []:
+                phases.append(
+                    Phase(
+                        name=f"{p.name}[{i}]",
+                        flops=p.flops,
+                        bytes=p.bytes,
+                        fpc=p.fpc,
+                        latency_sensitivity=p.latency_sensitivity,
+                        uncore_sensitivity=p.uncore_sensitivity,
+                        overfetch=p.overfetch,
+                    )
+                )
+        phases.extend(teardown or [])
+        return Application(name=name, phases=tuple(phases), structure=structure)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(p.bytes for p in self.phases)
+
+    def nominal_duration(self, socket: SocketConfig | None = None) -> float:
+        """Run time in the default configuration, seconds."""
+        rates = NominalRates(socket or yeti_socket_config())
+        return sum(rates.duration(p) for p in self.phases)
+
+    def jittered(self, rng, sigma: float) -> "Application":
+        """Per-run copy with phase volumes jittered multiplicatively.
+
+        Models run-to-run variation (OS noise, allocation differences);
+        ``rng`` is a seeded ``numpy.random.Generator``.
+        """
+        if sigma < 0:
+            raise WorkloadError("jitter sigma must be non-negative")
+        if sigma == 0.0:
+            return self
+        phases = tuple(
+            p.scaled(max(1.0 + sigma * rng.standard_normal(), 0.2))
+            for p in self.phases
+        )
+        return Application(name=self.name, phases=phases, structure=self.structure)

@@ -1,0 +1,46 @@
+"""The experiment catalog: name → builder for the paper's ten apps."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import SocketConfig
+from ..errors import WorkloadError
+from .application import Application
+from .hpl import hpl
+from .lammps import lammps
+from .npb import bt, cg, ep, ft, lu, mg, sp, ua
+
+__all__ = ["APPLICATIONS", "application_names", "build_application"]
+
+#: Builders for every application in the paper's evaluation, in the
+#: order Figures 3 and 4 list them.
+APPLICATIONS: dict[str, Callable[..., Application]] = {
+    "BT": bt,
+    "CG": cg,
+    "EP": ep,
+    "FT": ft,
+    "LU": lu,
+    "MG": mg,
+    "SP": sp,
+    "UA": ua,
+    "HPL": hpl,
+    "LAMMPS": lammps,
+}
+
+
+def application_names() -> tuple[str, ...]:
+    """Catalog names in the order Figures 3 and 4 list the applications."""
+    return tuple(APPLICATIONS)
+
+
+def build_application(
+    name: str, scale: float = 1.0, socket: SocketConfig | None = None
+) -> Application:
+    """Instantiate an application from the catalog by (case-insensitive) name."""
+    builder = APPLICATIONS.get(name.upper())
+    if builder is None:
+        raise WorkloadError(
+            f"unknown application {name!r}; available: {', '.join(APPLICATIONS)}"
+        )
+    return builder(scale=scale, socket=socket)

@@ -1,0 +1,72 @@
+"""Seeded random applications for property-based testing.
+
+The generator samples phase sequences across the full character space
+(pure compute, pure memory, balanced, latency-bound) so property tests
+can assert simulator and controller invariants on workloads nobody
+hand-tuned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SocketConfig, yeti_socket_config
+from ..errors import WorkloadError
+from .application import Application
+from .phase import phase_from_duration
+
+__all__ = ["random_application"]
+
+
+def random_application(
+    seed: int,
+    *,
+    max_phases: int = 12,
+    min_duration_s: float = 0.05,
+    max_duration_s: float = 2.0,
+    socket: SocketConfig | None = None,
+) -> Application:
+    """A reproducible random application for the given ``seed``."""
+    if max_phases < 1:
+        raise WorkloadError("max_phases must be at least 1")
+    if not 0 < min_duration_s <= max_duration_s:
+        raise WorkloadError("invalid duration bounds")
+    rng = np.random.default_rng(seed)
+    socket = socket or yeti_socket_config()
+    n = int(rng.integers(1, max_phases + 1))
+    phases = []
+    for i in range(n):
+        kind = rng.choice(["compute", "memory", "balanced", "latency"])
+        duration = float(rng.uniform(min_duration_s, max_duration_s))
+        if kind == "compute":
+            oi = float(rng.uniform(50.0, 5000.0))
+            fpc = float(rng.uniform(2.0, 24.0))
+            ls, us = 0.0, float(rng.uniform(0.0, 0.4))
+        elif kind == "memory":
+            oi = float(rng.uniform(0.005, 0.1))
+            fpc = float(rng.uniform(0.3, 1.5))
+            ls, us = 0.0, 0.0
+        elif kind == "balanced":
+            oi = float(rng.uniform(0.3, 5.0))
+            fpc = float(rng.uniform(1.0, 10.0))
+            ls, us = 0.0, float(rng.uniform(0.0, 0.3))
+        else:
+            oi = float(rng.uniform(0.5, 3.0))
+            fpc = float(rng.uniform(1.0, 8.0))
+            ls, us = float(rng.uniform(0.1, 0.5)), float(rng.uniform(0.0, 0.3))
+        phases.append(
+            phase_from_duration(
+                f"rand.{kind}[{i}]",
+                duration,
+                oi=oi,
+                fpc=fpc,
+                latency_sensitivity=ls,
+                uncore_sensitivity=us,
+                socket=socket,
+            )
+        )
+    return Application(
+        name=f"random-{seed}",
+        phases=tuple(phases),
+        structure=f"{n} random phases (seed {seed})",
+    )

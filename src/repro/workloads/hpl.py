@@ -1,0 +1,51 @@
+"""High-Performance Linpack: DGEMM-dominated dense LU factorisation.
+
+HPL (N = 91840, NB = 224, P×Q = 8×8 in the paper) spends the large
+majority of its time in MKL's DGEMM trailing-matrix updates — highly
+vectorised, operational intensity far above the paper's OI > 100
+"highly CPU intensive" threshold — punctuated by lower-intensity panel
+factorisations and broadcasts.  DGEMM tiles stream through the LLC, so
+the compute rate is sensitive to the uncore clock: that is what keeps
+DUF's uncore reductions (and hence its savings, < 7 % in the paper)
+modest on this workload.
+"""
+
+from __future__ import annotations
+
+from ..config import SocketConfig
+from .application import Application
+from .phase import phase_from_duration as pfd
+
+__all__ = ["hpl"]
+
+
+def hpl(scale: float = 1.0, socket: SocketConfig | None = None) -> Application:
+    """HPL 2.3 with the paper's problem geometry, time-scaled."""
+    loop = [
+        pfd(
+            "hpl.update",
+            1.40 * scale,
+            oi=150.0,
+            fpc=24.0,
+            uncore_sensitivity=0.30,
+            socket=socket,
+        ),
+        # Panel factorisation retires far fewer FLOPs but streams the
+        # same panel data, so its DRAM bandwidth matches the update's
+        # (OI scales with the FLOP rate) while FLOPS/s sag — the
+        # sawtooth the controller rides on real HPL.
+        pfd(
+            "hpl.panel",
+            0.30 * scale,
+            oi=37.0,
+            fpc=6.0,
+            uncore_sensitivity=0.20,
+            socket=socket,
+        ),
+    ]
+    return Application.from_pattern(
+        "HPL",
+        loop=loop,
+        iterations=18,
+        structure="18 iterations of DGEMM trailing update (OI 150) + panel factorisation",
+    )

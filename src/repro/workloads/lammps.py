@@ -1,0 +1,83 @@
+"""LAMMPS molecular dynamics (``in.lj``, run 100000).
+
+The Lennard-Jones benchmark alternates force computation, neighbour-
+list rebuilds and halo communication.  The paper traced LAMMPS at 50 ms
+resolution and found short power bursts that a 200 ms controller
+interval averages away — its explanation for LAMMPS being the app
+where DUFP misses the tolerance by up to 3.17 %.  The model inserts
+seeded sub-interval compute bursts (30–60 ms) between iterations so a
+200 ms controller sees the same aliasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SocketConfig
+from .application import Application
+from .phase import phase_from_duration as pfd
+
+__all__ = ["lammps"]
+
+
+def lammps(
+    scale: float = 1.0,
+    socket: SocketConfig | None = None,
+    seed: int = 42,
+    burst_probability: float = 0.6,
+) -> Application:
+    """LAMMPS in.lj with seeded sub-200 ms power bursts."""
+    if not 0.0 <= burst_probability <= 1.0:
+        raise ValueError("burst_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    phases = []
+    for block in range(4):
+        for i in range(10):
+            tag = f"{block}.{i}"
+            phases.append(
+                pfd(
+                    f"lammps.force[{tag}]",
+                    0.50 * scale,
+                    oi=2.5,
+                    fpc=7.0,
+                    uncore_sensitivity=0.15,
+                    socket=socket,
+                )
+            )
+            # Halo exchange: sub-interval, averaged away by the meter.
+            phases.append(
+                pfd(f"lammps.comm[{tag}]", 0.03 * scale, oi=2.0, fpc=4.0, socket=socket)
+            )
+            if rng.random() < burst_probability:
+                # Short, high-current burst (wide-vector section): the
+                # FLOP rate barely moves but power spikes, so under a
+                # cap RAPL throttles for the burst's duration — time the
+                # 200 ms counters never attribute to a FLOPS/s drop.
+                # This is the paper's explanation for LAMMPS's misses:
+                # "the power consumption [has] some bursts … missed
+                # with a 200 ms interval".
+                duration = float(rng.uniform(0.04, 0.08)) * scale
+                phases.append(
+                    pfd(
+                        f"lammps.burst[{tag}]",
+                        duration,
+                        oi=2.5,
+                        fpc=7.0,
+                        uncore_sensitivity=0.15,
+                        power_boost=1.55,
+                        socket=socket,
+                    )
+                )
+        # Neighbour-list rebuild every few MD steps: memory-class,
+        # long enough for the detector to see the regime switch.
+        phases.append(
+            pfd(f"lammps.neigh[{block}]", 0.25 * scale, oi=0.30, fpc=2.0, socket=socket)
+        )
+    return Application(
+        name="LAMMPS",
+        phases=tuple(phases),
+        structure=(
+            "4 blocks of 10 MD force iterations (with seeded sub-200 ms "
+            "bursts) separated by neighbour-list rebuilds"
+        ),
+    )

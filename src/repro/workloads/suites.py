@@ -1,0 +1,42 @@
+"""Named application suites for sweeps and CLI use.
+
+The paper evaluates all ten applications; development iterations want
+smaller, characterised subsets.  Suites group catalog names by the
+behaviour that dominates their response to DUFP.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .catalog import application_names
+
+__all__ = ["SUITES", "suite_names", "suite"]
+
+#: name -> tuple of catalog application names.
+SUITES: dict[str, tuple[str, ...]] = {
+    # Everything the paper evaluates, figure order.
+    "paper": application_names(),
+    # A fast development probe: one memory-bound, one compute-bound.
+    "quick": ("CG", "EP"),
+    # Bandwidth-dominated: deep caps are cheap, uncore is load-bearing.
+    "memory-bound": ("CG", "FT", "MG"),
+    # Compute-dominated: caps bite immediately, uncore is waste.
+    "cpu-bound": ("EP", "HPL", "BT", "SP"),
+    # The paper's §V-A problem children.
+    "violators": ("UA", "LAMMPS", "CG"),
+}
+
+
+def suite_names() -> tuple[str, ...]:
+    """All defined suite names."""
+    return tuple(SUITES)
+
+
+def suite(name: str) -> tuple[str, ...]:
+    """Application names of a suite (case-insensitive lookup)."""
+    key = name.lower()
+    if key not in SUITES:
+        raise WorkloadError(
+            f"unknown suite {name!r}; available: {', '.join(SUITES)}"
+        )
+    return SUITES[key]

@@ -1,0 +1,163 @@
+"""Counter-trace recording and replay.
+
+Two directions:
+
+* **record** — :func:`measurements_from_run` extracts the per-interval
+  counter trace (FLOPS/s, bytes/s) a controller observed from a run
+  result, at the controller's cadence;
+* **replay** — :func:`application_from_trace` turns such a trace (or
+  one captured with real PAPI on real hardware) back into a synthetic
+  :class:`~repro.workloads.application.Application` whose phases
+  reproduce the observed rates, so a workload measured once can be
+  re-run under any controller configuration.
+
+Replay inverts the roofline per sample: given observed FLOPS/s ``F``
+and bandwidth ``B`` over an interval of length ``dt`` at (assumed)
+default clocks, the phase carries volumes ``F·dt`` / ``B·dt`` and an
+``fpc`` chosen so the model reproduces the observed rate.  Consecutive
+samples with near-identical rates are merged into one phase to keep
+the application compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SocketConfig, yeti_socket_config
+from ..errors import WorkloadError
+from .application import Application
+from .phase import Phase, NominalRates
+
+__all__ = ["TraceSample", "measurements_from_run", "application_from_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One interval of an observed counter trace."""
+
+    dt_s: float
+    flops_per_s: float
+    bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise WorkloadError("trace sample with non-positive duration")
+        if self.flops_per_s < 0 or self.bytes_per_s < 0:
+            raise WorkloadError("trace sample with negative rates")
+
+
+def measurements_from_run(
+    run_result, socket_id: int = 0, interval_s: float = 0.2
+) -> list[TraceSample]:
+    """Resample a run's engine trace onto controller-interval samples."""
+    sock = run_result.socket(socket_id)
+    if not sock.trace:
+        raise WorkloadError("run recorded no trace")
+    samples: list[TraceSample] = []
+    acc_f = acc_b = acc_t = 0.0
+    prev_t = 0.0
+    for s in sock.trace:
+        dt = s.time_s - prev_t
+        prev_t = s.time_s
+        acc_f += s.flops_rate * dt
+        acc_b += s.bytes_rate * dt
+        acc_t += dt
+        if acc_t >= interval_s - 1e-9:
+            samples.append(
+                TraceSample(
+                    dt_s=acc_t,
+                    flops_per_s=acc_f / acc_t,
+                    bytes_per_s=acc_b / acc_t,
+                )
+            )
+            acc_f = acc_b = acc_t = 0.0
+    if acc_t > 1e-6 and (acc_f > 0 or acc_b > 0):
+        samples.append(
+            TraceSample(dt_s=acc_t, flops_per_s=acc_f / acc_t, bytes_per_s=acc_b / acc_t)
+        )
+    return samples
+
+
+def _rates_close(a: TraceSample, b: TraceSample, tolerance: float) -> bool:
+    def close(x: float, y: float) -> bool:
+        hi = max(abs(x), abs(y))
+        return hi == 0.0 or abs(x - y) / hi <= tolerance
+
+    return close(a.flops_per_s, b.flops_per_s) and close(
+        a.bytes_per_s, b.bytes_per_s
+    )
+
+
+def application_from_trace(
+    samples: list[TraceSample],
+    *,
+    name: str = "replay",
+    merge_tolerance: float = 0.05,
+    socket: SocketConfig | None = None,
+) -> Application:
+    """Build a replayable application from a counter trace.
+
+    Each merged run of similar samples becomes one phase.  The phase's
+    ``fpc`` is solved so that the roofline model at default clocks
+    reproduces the observed FLOPS/s: if the observed rates are below
+    the bandwidth roof the phase is compute-paced and
+    ``fpc = F / (n_cores · f_max)``; bandwidth-saturated samples get a
+    memory-paced phase instead.
+    """
+    if not samples:
+        raise WorkloadError("empty trace")
+    socket = socket or yeti_socket_config()
+    rates = NominalRates(socket)
+    peak_bw = socket.memory.peak_bw_bytes
+    n_cores = socket.core.count
+    f_max = socket.core.max_freq_hz
+
+    # Merge consecutive similar samples.
+    merged: list[TraceSample] = []
+    for s in samples:
+        if merged and _rates_close(merged[-1], s, merge_tolerance):
+            prev = merged[-1]
+            total = prev.dt_s + s.dt_s
+            merged[-1] = TraceSample(
+                dt_s=total,
+                flops_per_s=(prev.flops_per_s * prev.dt_s + s.flops_per_s * s.dt_s)
+                / total,
+                bytes_per_s=(prev.bytes_per_s * prev.dt_s + s.bytes_per_s * s.dt_s)
+                / total,
+            )
+        else:
+            merged.append(s)
+
+    phases: list[Phase] = []
+    for i, s in enumerate(merged):
+        flops = s.flops_per_s * s.dt_s
+        bytes_ = s.bytes_per_s * s.dt_s
+        if flops <= 0 and bytes_ <= 0:
+            continue
+        if s.bytes_per_s >= 0.92 * peak_bw:
+            # Bandwidth-saturated: memory-paced; give the compute side
+            # ample slack so the memory roof defines the duration.
+            fpc = max(4.0 * s.flops_per_s / (n_cores * f_max), 1e-3)
+        else:
+            # Compute-paced: fpc reproduces the rate exactly.
+            fpc = max(s.flops_per_s / (n_cores * f_max), 1e-3)
+        phases.append(
+            Phase(
+                name=f"{name}.seg{i}",
+                flops=flops,
+                bytes=bytes_,
+                fpc=fpc,
+            )
+        )
+    if not phases:
+        raise WorkloadError("trace contains no work")
+    app = Application(name=name.upper(), phases=tuple(phases), structure=f"replay of {len(merged)} trace segments")
+    # Sanity: the replay should take about as long as the trace did.
+    replay_s = sum(rates.duration(p) for p in app.phases)
+    trace_s = sum(s.dt_s for s in samples)
+    if not 0.5 * trace_s <= replay_s <= 2.0 * trace_s:
+        raise WorkloadError(
+            f"replay duration {replay_s:.2f}s diverges from trace {trace_s:.2f}s; "
+            "was the trace captured at non-default clocks?"
+        )
+    return app

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ControllerConfig,
+    EngineConfig,
+    NoiseConfig,
+    yeti_socket_config,
+)
+from repro.hardware.processor import PhaseWork, SimulatedProcessor
+
+
+@pytest.fixture
+def socket_cfg():
+    return yeti_socket_config()
+
+
+@pytest.fixture
+def processor(socket_cfg):
+    return SimulatedProcessor(socket_cfg)
+
+
+@pytest.fixture
+def controller_cfg():
+    return ControllerConfig()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_noise():
+    """No stochastic variation: deterministic runs for exact assertions."""
+    return NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+
+
+@pytest.fixture
+def fast_engine():
+    return EngineConfig(dt_s=0.01)
+
+
+# Representative phase characters used across hardware tests.
+@pytest.fixture
+def compute_work():
+    """EP-like: pure compute, negligible memory."""
+    return PhaseWork(flops=1e12, bytes=1e7, fpc=4.0)
+
+
+@pytest.fixture
+def memory_work():
+    """CG-setup-like: almost pure memory streaming."""
+    return PhaseWork(flops=1.5e10, bytes=1e12, fpc=0.5)
+
+
+@pytest.fixture
+def balanced_work():
+    """Roofline-balanced phase."""
+    return PhaseWork(flops=1.2e11, bytes=1e12, fpc=0.32)
+
+
+def settle(processor, work, steps=200, dt=0.01):
+    """Advance a processor until its state stabilises; returns the state."""
+    for _ in range(steps):
+        processor.step(dt, work)
+    return processor.state

@@ -1,0 +1,202 @@
+"""Cap and uncore actuators: stepping rules and constraint handling."""
+
+import pytest
+
+from repro.config import ControllerConfig, yeti_socket_config
+from repro.core.capping import CapActuator
+from repro.core.uncore_actuator import UncoreActuator
+from repro.errors import ControllerError
+from repro.hardware.processor import SimulatedProcessor
+from repro.interfaces.msr_tools import MSRTools
+from repro.interfaces.powercap import PowercapTree
+
+
+@pytest.fixture
+def proc():
+    return SimulatedProcessor(yeti_socket_config())
+
+
+@pytest.fixture
+def cap(proc):
+    zone = PowercapTree([proc.rapl]).package_zone(0)
+    return CapActuator(zone, ControllerConfig()), proc
+
+
+@pytest.fixture
+def uncore(proc):
+    return (
+        UncoreActuator(MSRTools(proc.msrs), proc.config.uncore, ControllerConfig()),
+        proc,
+    )
+
+
+def latch(proc):
+    """Advance past the RAPL actuation delay so pending limits apply."""
+    proc.rapl.step(0.01, 100.0, 20.0)
+
+
+class TestCapDecrease:
+    def test_decrease_steps_5w(self, cap):
+        actuator, proc = cap
+        assert actuator.decrease()
+        latch(proc)
+        assert actuator.cap_w == pytest.approx(120.0)
+
+    def test_decrease_ties_both_constraints(self, cap):
+        actuator, proc = cap
+        actuator.decrease()
+        latch(proc)
+        assert actuator.short_term_w == pytest.approx(actuator.cap_w)
+
+    def test_decrease_floors_at_65(self, cap):
+        actuator, proc = cap
+        for _ in range(30):
+            actuator.decrease()
+            latch(proc)
+        assert actuator.cap_w == pytest.approx(65.0)
+        assert actuator.at_floor
+        assert actuator.decrease() is False
+
+
+class TestCapIncrease:
+    def test_increase_at_default_is_noop(self, cap):
+        actuator, _ = cap
+        assert actuator.at_default
+        assert actuator.increase() is False
+
+    def test_increase_steps_back_up(self, cap):
+        actuator, proc = cap
+        for _ in range(4):
+            actuator.decrease()
+            latch(proc)
+        assert actuator.increase()
+        latch(proc)
+        assert actuator.cap_w == pytest.approx(110.0)
+        assert actuator.short_term_w == pytest.approx(110.0)
+
+    def test_increase_reaching_default_resets(self, cap):
+        # Paper: "if the value reached by the long term constraint is
+        # equal to its default value, the power cap is reset" — both
+        # constraints return to their defaults (125/150).
+        actuator, proc = cap
+        actuator.decrease()
+        latch(proc)
+        assert actuator.increase()
+        latch(proc)
+        assert actuator.cap_w == pytest.approx(125.0)
+        assert actuator.short_term_w == pytest.approx(150.0)
+        assert actuator.just_reset
+
+
+class TestCapReset:
+    def test_reset_restores_defaults(self, cap):
+        actuator, proc = cap
+        for _ in range(5):
+            actuator.decrease()
+            latch(proc)
+        actuator.reset()
+        latch(proc)
+        assert actuator.cap_w == pytest.approx(125.0)
+        assert actuator.short_term_w == pytest.approx(150.0)
+
+    def test_after_reset_tighten_when_power_fits(self, cap):
+        actuator, proc = cap
+        actuator.reset()
+        latch(proc)
+        assert actuator.after_reset_tighten(package_power_w=100.0) is True
+        latch(proc)
+        assert actuator.short_term_w == pytest.approx(125.0)
+
+    def test_after_reset_no_tighten_when_power_high(self, cap):
+        actuator, proc = cap
+        actuator.reset()
+        latch(proc)
+        assert actuator.after_reset_tighten(package_power_w=130.0) is False
+        latch(proc)
+        assert actuator.short_term_w == pytest.approx(150.0)
+
+    def test_tighten_only_fires_once(self, cap):
+        actuator, proc = cap
+        actuator.reset()
+        latch(proc)
+        actuator.after_reset_tighten(100.0)
+        assert actuator.after_reset_tighten(100.0) is False
+
+    def test_decrease_clears_just_reset(self, cap):
+        actuator, proc = cap
+        actuator.reset()
+        latch(proc)
+        actuator.decrease()
+        assert actuator.just_reset is False
+
+    def test_dram_zone_rejected(self, proc):
+        dram = PowercapTree([proc.rapl]).dram_zone(0)
+        with pytest.raises(ControllerError):
+            CapActuator(dram, ControllerConfig())
+
+
+class TestUncoreActuator:
+    def test_starts_wherever_hardware_is(self, uncore):
+        actuator, _ = uncore
+        assert actuator.pinned_freq_hz == pytest.approx(2.4e9)
+
+    def test_decrease_steps_100mhz(self, uncore):
+        actuator, _ = uncore
+        actuator.reset()
+        assert actuator.decrease()
+        assert actuator.pinned_freq_hz == pytest.approx(2.3e9)
+
+    def test_decrease_floors_at_min(self, uncore):
+        actuator, _ = uncore
+        actuator.reset()
+        for _ in range(20):
+            actuator.decrease()
+        assert actuator.pinned_freq_hz == pytest.approx(1.2e9)
+        assert actuator.at_min
+        assert actuator.decrease() is False
+
+    def test_increase_ceils_at_max(self, uncore):
+        actuator, _ = uncore
+        actuator.reset()
+        assert actuator.at_max
+        assert actuator.increase() is False
+
+    def test_reset_pins_max(self, uncore):
+        actuator, _ = uncore
+        actuator.reset()
+        actuator.decrease()
+        actuator.decrease()
+        actuator.reset()
+        assert actuator.pinned_freq_hz == pytest.approx(2.4e9)
+
+    def test_pin_goes_through_msr(self, uncore):
+        actuator, proc = uncore
+        actuator.reset()
+        actuator.decrease()
+        # The behavioural model observed the MSR write.
+        assert proc.uncore.pinned
+        assert proc.uncore.frequency_hz == pytest.approx(2.3e9)
+
+    def test_measured_freq_reads_status_msr(self, uncore):
+        actuator, proc = uncore
+        actuator.reset()
+        proc.step(0.01, None)
+        assert actuator.measured_freq_hz == pytest.approx(2.4e9)
+
+    def test_ensure_reset_retries_when_low(self, uncore):
+        actuator, proc = uncore
+        # Simulate the lag: hardware still below max after a reset.
+        proc.uncore.pin(2.0e9)
+        assert actuator.ensure_reset() is True
+        assert proc.uncore.frequency_hz == pytest.approx(2.4e9)
+
+    def test_ensure_reset_noop_at_max(self, uncore):
+        actuator, proc = uncore
+        actuator.reset()
+        assert actuator.ensure_reset() is False
+
+    def test_release_reopens_window(self, uncore):
+        actuator, proc = uncore
+        actuator.reset()
+        actuator.release()
+        assert not proc.uncore.pinned

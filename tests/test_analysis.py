@@ -1,0 +1,137 @@
+"""Statistics, tables and series helpers."""
+
+import pytest
+
+from repro.analysis.series import resample_series, time_weighted_average
+from repro.analysis.stats import (
+    ErrorBar,
+    error_bar,
+    keep_indices_drop_extremes,
+    percent_ratio_series,
+    trimmed_mean_drop_extremes,
+)
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+
+
+class TestTrimming:
+    def test_drops_one_min_one_max(self):
+        values = [5.0, 1.0, 3.0, 9.0, 4.0]
+        keep = keep_indices_drop_extremes(values)
+        assert sorted(values[i] for i in keep) == [3.0, 4.0, 5.0]
+
+    def test_paper_protocol_10_runs_keep_8(self):
+        values = list(range(10))
+        assert len(keep_indices_drop_extremes(values)) == 8
+
+    def test_ties_drop_single_instance(self):
+        values = [1.0, 1.0, 2.0, 3.0, 3.0]
+        keep = keep_indices_drop_extremes(values)
+        assert sorted(values[i] for i in keep) == [1.0, 2.0, 3.0]
+
+    def test_small_samples_untouched(self):
+        assert keep_indices_drop_extremes([1.0, 2.0]) == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            keep_indices_drop_extremes([])
+
+    def test_trimmed_mean(self):
+        assert trimmed_mean_drop_extremes([1.0, 2.0, 3.0, 4.0, 100.0]) == pytest.approx(
+            3.0
+        )
+
+    def test_trimmed_mean_robust_to_outliers(self):
+        clean = trimmed_mean_drop_extremes([10.0, 10.0, 10.0, 10.0])
+        dirty = trimmed_mean_drop_extremes([10.0, 10.0, 10.0, 10.0, 1000.0, 0.001])
+        assert dirty == pytest.approx(clean)
+
+
+class TestErrorBars:
+    def test_basic(self):
+        bar = error_bar([1.0, 2.0, 3.0], keep=[0, 1, 2])
+        assert bar.mean == pytest.approx(2.0)
+        assert bar.low == 1.0
+        assert bar.high == 3.0
+        assert bar.spread == pytest.approx(2.0)
+
+    def test_keep_subset(self):
+        bar = error_bar([1.0, 100.0, 3.0], keep=[0, 2])
+        assert bar.high == 3.0
+
+    def test_default_keep_trims(self):
+        bar = error_bar([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert bar.high == 4.0
+
+    def test_inconsistent_bar_rejected(self):
+        with pytest.raises(ExperimentError):
+            ErrorBar(mean=5.0, low=6.0, high=7.0)
+
+    def test_empty_keep_rejected(self):
+        with pytest.raises(ExperimentError):
+            error_bar([1.0], keep=[])
+
+
+class TestPercentSeries:
+    def test_ratio_series(self):
+        assert percent_ratio_series([110.0, 100.0], 125.0) == [
+            pytest.approx(88.0),
+            pytest.approx(80.0),
+        ]
+
+    def test_bad_reference(self):
+        with pytest.raises(ExperimentError):
+            percent_ratio_series([1.0], 0.0)
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.25]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in out and "4.25" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table([], [])
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [[1], [100]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestSeries:
+    def test_resample_holds_values(self):
+        times = [0.1, 0.2, 0.3, 0.4]
+        values = [1.0, 2.0, 3.0, 4.0]
+        grid_t, grid_v = resample_series(times, values, 0.2)
+        assert grid_t == [pytest.approx(0.2), pytest.approx(0.4)]
+        assert grid_v == [2.0, 4.0]
+
+    def test_resample_coarse_series(self):
+        grid_t, grid_v = resample_series([1.0], [7.0], 0.25)
+        assert len(grid_t) == 4
+        assert set(grid_v) == {7.0}
+
+    def test_resample_validation(self):
+        with pytest.raises(ExperimentError):
+            resample_series([1.0], [1.0, 2.0], 0.1)
+        with pytest.raises(ExperimentError):
+            resample_series([], [], 0.1)
+
+    def test_time_weighted_average(self):
+        # 1.0 for the first second, 3.0 for the next three.
+        assert time_weighted_average([1.0, 4.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_time_weighted_average_validation(self):
+        with pytest.raises(ExperimentError):
+            time_weighted_average([2.0, 1.0], [1.0, 1.0])

@@ -1,0 +1,93 @@
+"""The public API surface: everything exported actually exists."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_MODULES = [
+    "repro.config",
+    "repro.errors",
+    "repro.units",
+    "repro.hardware",
+    "repro.hardware.msr",
+    "repro.hardware.dvfs",
+    "repro.hardware.uncore",
+    "repro.hardware.rapl",
+    "repro.hardware.power",
+    "repro.hardware.memory",
+    "repro.hardware.perf",
+    "repro.hardware.processor",
+    "repro.hardware.thermal",
+    "repro.hardware.gpu",
+    "repro.interfaces",
+    "repro.papi",
+    "repro.workloads",
+    "repro.core",
+    "repro.sim",
+    "repro.sim.hetero",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestModules:
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_module_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_quickstart_symbols(self):
+        # The README's quickstart names must stay importable.
+        from repro import (  # noqa: F401
+            ControllerConfig,
+            DUFP,
+            DefaultController,
+            build_application,
+            run_application,
+        )
+
+    def test_every_public_symbol_has_a_docstring(self):
+        undocumented = [
+            s
+            for s in repro.__all__
+            if s != "__version__"
+            and callable(getattr(repro, s))
+            and not (getattr(repro, s).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_catching_the_base_catches_everything(self):
+        from repro.errors import MSRError, ReproError, WorkloadError
+
+        for exc_type in (MSRError, WorkloadError):
+            with pytest.raises(ReproError):
+                raise exc_type("x")

@@ -1,0 +1,80 @@
+"""AVX frequency licenses (opt-in core-frequency derating)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CoreConfig, yeti_socket_config
+from repro.errors import ConfigurationError
+from repro.hardware.processor import PhaseWork, SimulatedProcessor
+
+from tests.conftest import settle
+
+
+def licensed_socket(threshold=16.0, avx_ghz=2.4):
+    base = yeti_socket_config()
+    return replace(
+        base,
+        core=replace(
+            base.core, avx_license_fpc=threshold, avx_max_freq_hz=avx_ghz * 1e9
+        ),
+    )
+
+
+WIDE = PhaseWork(flops=1e13, bytes=5e10, fpc=24.0)
+NARROW = PhaseWork(flops=1e12, bytes=5e10, fpc=4.0)
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert yeti_socket_config().core.avx_license_fpc == float("inf")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replace(CoreConfig(), avx_license_fpc=0.0).validate()
+
+    def test_avx_freq_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            replace(CoreConfig(), avx_max_freq_hz=5e9).validate()
+
+
+class TestDerating:
+    def test_wide_vector_phase_derated(self):
+        p = SimulatedProcessor(licensed_socket())
+        s = settle(p, WIDE)
+        assert s.core_freq_hz == pytest.approx(2.4e9)
+
+    def test_narrow_phase_unaffected(self):
+        p = SimulatedProcessor(licensed_socket())
+        s = settle(p, NARROW)
+        assert s.core_freq_hz == pytest.approx(2.8e9)
+
+    def test_disabled_license_means_full_turbo(self):
+        p = SimulatedProcessor(yeti_socket_config())
+        s = settle(p, WIDE)
+        assert s.core_freq_hz == pytest.approx(2.8e9)
+
+    def test_derating_reduces_flops_rate(self):
+        plain = settle(SimulatedProcessor(yeti_socket_config()), WIDE)
+        derated = settle(SimulatedProcessor(licensed_socket()), WIDE)
+        assert derated.flops_rate == pytest.approx(
+            plain.flops_rate * 2.4 / 2.8, rel=0.02
+        )
+
+    def test_derating_reduces_power(self):
+        plain = settle(SimulatedProcessor(yeti_socket_config()), WIDE)
+        derated = settle(SimulatedProcessor(licensed_socket()), WIDE)
+        assert derated.package.total_w < plain.package.total_w
+
+    def test_rapl_clamp_still_binds_below_license(self):
+        p = SimulatedProcessor(licensed_socket())
+        p.rapl.set_limits(80.0, 80.0)
+        s = settle(p, WIDE, steps=300)
+        assert s.core_freq_hz < 2.4e9
+
+    def test_preview_consistent_with_step(self):
+        p = SimulatedProcessor(licensed_socket())
+        settle(p, WIDE, steps=50)
+        preview = p.preview_progress_rate(WIDE)
+        actual = p.step(0.01, WIDE) / 0.01
+        assert preview == pytest.approx(actual, rel=0.05)

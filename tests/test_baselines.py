@@ -1,0 +1,144 @@
+"""Baseline controllers: static caps, window caps, DNPC-like."""
+
+import pytest
+
+from repro.config import ControllerConfig, yeti_socket_config
+from repro.core.baselines import (
+    DNPCLike,
+    StaticPowerCap,
+    StaticUncore,
+    TimeWindowCap,
+)
+from repro.core.runtime import ControllerRuntime
+from repro.errors import ControllerError
+from repro.hardware.processor import SimulatedProcessor
+from repro.papi.highlevel import Measurement
+
+
+def wire(ctrl, tol=0.10):
+    cfg = ControllerConfig(tolerated_slowdown=tol)
+    proc = SimulatedProcessor(yeti_socket_config())
+    runtime = ControllerRuntime(processors=[proc], controllers=[ctrl], cfg=cfg)
+    runtime.start()
+    return proc
+
+
+def m(flops=12e9, bw=100e9, power=100.0):
+    return Measurement(
+        dt_s=0.2,
+        flops_per_s=flops,
+        bytes_per_s=bw,
+        package_power_w=power,
+        dram_power_w=25.0,
+    )
+
+
+def latch(proc):
+    proc.rapl.step(0.01, 100.0, 20.0)
+
+
+class TestStaticPowerCap:
+    def test_cap_applied_at_attach(self):
+        ctrl = StaticPowerCap(110.0)
+        proc = wire(ctrl)
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(110.0)
+        assert proc.rapl.pl2.limit_w == pytest.approx(110.0)
+
+    def test_cap_never_changes(self):
+        ctrl = StaticPowerCap(100.0)
+        proc = wire(ctrl)
+        latch(proc)
+        for i in range(10):
+            ctrl.tick(0.2 * (i + 1), m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(100.0)
+
+    def test_name_includes_cap(self):
+        assert StaticPowerCap(110.0).name == "static-110W"
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ControllerError):
+            StaticPowerCap(0.0)
+
+
+class TestStaticUncore:
+    def test_pins_at_attach(self):
+        ctrl = StaticUncore(1.8e9)
+        proc = wire(ctrl)
+        assert proc.uncore.pinned
+        assert proc.uncore.frequency_hz == pytest.approx(1.8e9)
+
+    def test_bad_freq_rejected(self):
+        with pytest.raises(ControllerError):
+            StaticUncore(0.0)
+
+
+class TestTimeWindowCap:
+    def test_cap_active_from_zero(self):
+        ctrl = TimeWindowCap(100.0, 0.0, 1.0)
+        proc = wire(ctrl)
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(100.0)
+
+    def test_cap_released_after_window(self):
+        ctrl = TimeWindowCap(100.0, 0.0, 1.0)
+        proc = wire(ctrl)
+        latch(proc)
+        ctrl.tick(0.8, m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(100.0)
+        ctrl.tick(1.2, m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+
+    def test_cap_applies_mid_run(self):
+        ctrl = TimeWindowCap(100.0, 1.0, 2.0)
+        proc = wire(ctrl)
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+        ctrl.tick(1.2, m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(100.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ControllerError):
+            TimeWindowCap(100.0, 2.0, 1.0)
+
+
+class TestDNPCLike:
+    def test_decreases_cap_when_frequency_high(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        ctrl = DNPCLike(cfg)
+        proc = wire(ctrl)
+        # Running at full frequency: estimated degradation 0, slack 10 %.
+        ctrl.tick(0.2, m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(120.0)
+
+    def test_increases_cap_when_frequency_low(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.05)
+        ctrl = DNPCLike(cfg)
+        proc = wire(ctrl)
+        for i in range(5):
+            ctrl.tick(0.2 * (i + 1), m())
+            latch(proc)
+        cap_low = proc.rapl.pl1.limit_w
+        # Clamp the frequency well below the tolerance (20 % down).
+        proc.dvfs.set_rapl_clamp(2.2e9)
+        ctrl.tick(1.2, m())
+        latch(proc)
+        assert proc.rapl.pl1.limit_w > cap_low
+
+    def test_frequency_model_is_blind_to_memory_boundness(self):
+        # The paper's critique: on a memory-bound phase a frequency drop
+        # does not mean a performance drop, but DNPC backs off anyway.
+        cfg = ControllerConfig(tolerated_slowdown=0.05)
+        ctrl = DNPCLike(cfg)
+        proc = wire(ctrl)
+        for i in range(3):  # walk the cap below the default first
+            ctrl.tick(0.2 * (i + 1), m())
+            latch(proc)
+        proc.dvfs.set_rapl_clamp(2.2e9)  # 21 % frequency cut
+        ctrl.tick(0.8, m())  # flops unchanged (memory bound)!
+        assert ctrl.ticks[-1].cap_action == "increase"

@@ -1,0 +1,69 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_subcommands_exist(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_runs_flag(self):
+        args = build_parser().parse_args(["fig3a", "--runs", "3"])
+        assert args.runs == 3
+
+    def test_run_subcommand(self):
+        args = build_parser().parse_args(
+            ["run", "CG", "--controller", "duf", "--slowdown", "20"]
+        )
+        assert args.app == "CG"
+        assert args.controller == "duf"
+        assert args.slowdown == 20.0
+
+    def test_bad_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "CG", "--controller", "magic"])
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CG" in out and "fig3a" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "EP", "--controller", "default"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "avg package power" in out
+
+    def test_run_dufp(self, capsys):
+        assert main(["run", "CG", "--controller", "dufp", "--slowdown", "10"]) == 0
+        assert "dufp" in capsys.readouterr().out
+
+    def test_run_static_cap(self, capsys):
+        assert main(
+            ["run", "EP", "--controller", "static", "--cap", "100"]
+        ) == 0
+        assert "static-100W" in capsys.readouterr().out
+
+    def test_unknown_app_is_clean_error(self, capsys):
+        assert main(["run", "NOPE"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro 1.0.0" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Closed-form cross-checks: the models against their own algebra.
+
+Unlike the behavioural tests, these derive the expected value from the
+model equations independently and check the implementation reproduces
+it exactly — catching silent drift in the arithmetic.
+"""
+
+import math
+
+import pytest
+
+from repro.config import (
+    CoreConfig,
+    MemoryConfig,
+    PowerModelConfig,
+    ThermalConfig,
+    UncoreConfig,
+    yeti_socket_config,
+)
+from repro.hardware.memory import MemorySystem
+from repro.hardware.perf import PhaseExecutionModel
+from repro.hardware.power import PackagePowerModel
+from repro.hardware.rapl import RAPLPackage
+from repro.config import RAPLConfig
+from repro.hardware.thermal import ThermalModel
+
+
+class TestPowerAlgebra:
+    def test_core_power_formula(self):
+        cfg = PowerModelConfig()
+        core = CoreConfig()
+        m = PackagePowerModel(core, UncoreConfig(), cfg)
+        f = 2.3e9
+        act = 0.6
+        v = core.v_min + (f - core.min_freq_hz) / (
+            core.max_freq_hz - core.min_freq_hz
+        ) * (core.v_max - core.v_min)
+        expected = (
+            core.count
+            * cfg.k_core
+            * v
+            * v
+            * (f / 1e9)
+            * (cfg.core_idle_fraction + (1 - cfg.core_idle_fraction) * act)
+        )
+        assert m.core_power(f, act) == pytest.approx(expected, rel=1e-12)
+
+    def test_uncore_power_formula(self):
+        cfg = PowerModelConfig()
+        unc = UncoreConfig()
+        m = PackagePowerModel(CoreConfig(), unc, cfg)
+        fu = 1.9e9
+        traffic = 0.4
+        v = unc.v_min + (fu - unc.min_freq_hz) / (
+            unc.max_freq_hz - unc.min_freq_hz
+        ) * (unc.v_max - unc.v_min)
+        expected = (
+            cfg.k_uncore
+            * v
+            * v
+            * (fu / 1e9)
+            * (cfg.uncore_idle_fraction + (1 - cfg.uncore_idle_fraction) * traffic)
+        )
+        assert m.uncore_power(fu, traffic) == pytest.approx(expected, rel=1e-12)
+
+
+class TestRooflineAlgebra:
+    def test_pnorm_overlap(self):
+        mem = MemorySystem(MemoryConfig(), CoreConfig(), UncoreConfig())
+        model = PhaseExecutionModel(CoreConfig(), mem)
+        flops, bytes_, fpc = 3e11, 4e11, 2.0
+        f, fu = 2.8e9, 2.4e9
+        t_c = flops / (16 * fpc * f)
+        bw = min(105e9, 52.0 * fu, 6.6 * 16 * f)
+        t_m = bytes_ / bw
+        p = model.overlap_sharpness
+        expected = (t_c**p + t_m**p) ** (1.0 / p)
+        assert model.phase_time(flops, bytes_, fpc, f, fu) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_sensitivity_terms_multiply(self):
+        mem = MemorySystem(MemoryConfig(), CoreConfig(), UncoreConfig())
+        model = PhaseExecutionModel(CoreConfig(), mem)
+        fu = 1.6e9
+        ratio = 2.4e9 / fu
+        base_c = model.phase_time(1e12, 0.0, 4.0, 2.8e9, fu)
+        with_us = model.phase_time(
+            1e12, 0.0, 4.0, 2.8e9, fu, uncore_sensitivity=0.3
+        )
+        assert with_us == pytest.approx(base_c * (1 + 0.3 * (ratio - 1)), rel=1e-12)
+
+
+class TestRAPLBudgetAlgebra:
+    def test_budget_formula_with_headroom(self):
+        rapl = RAPLPackage(RAPLConfig())
+        rapl._avg_pl1_w = 100.0
+        # budget = min(PL2, PL1 + 2*(PL1 - avg))
+        assert rapl.allowed_power() == pytest.approx(min(150.0, 125.0 + 2 * 25.0))
+
+    def test_budget_formula_over_average(self):
+        rapl = RAPLPackage(RAPLConfig())
+        rapl._avg_pl1_w = 135.0
+        assert rapl.allowed_power() == pytest.approx(125.0 + 2 * (125.0 - 135.0))
+
+    def test_ema_update_coefficient(self):
+        rapl = RAPLPackage(RAPLConfig())
+        avg0 = rapl._avg_pl1_w
+        dt, p = 0.01, 120.0
+        alpha = 1.0 - math.exp(-dt / rapl.pl1.window_s)
+        rapl.step(dt, p, 10.0)
+        assert rapl._avg_pl1_w == pytest.approx(avg0 + alpha * (p - avg0), rel=1e-12)
+
+
+class TestThermalAlgebra:
+    def test_rc_update(self):
+        cfg = ThermalConfig()
+        m = ThermalModel(cfg)
+        t0 = m.temperature_c
+        dt, p = 0.5, 110.0
+        alpha = 1.0 - math.exp(-dt / cfg.tau_s)
+        target = cfg.ambient_c + p * cfg.r_thermal_c_per_w
+        m.step(dt, p)
+        assert m.temperature_c == pytest.approx(t0 + alpha * (target - t0), rel=1e-12)
+
+    def test_steady_state_formula(self):
+        cfg = ThermalConfig()
+        assert cfg.steady_state_c(125.0) == pytest.approx(
+            cfg.ambient_c + 125.0 * cfg.r_thermal_c_per_w
+        )
+
+
+class TestToleranceAlgebra:
+    def test_threshold_formula(self):
+        from repro.core.tolerance import SlowdownTracker
+
+        t = SlowdownTracker(tolerated_slowdown=0.2, measurement_error=0.01)
+        t.observe(1000.0)
+        assert t.threshold == pytest.approx(1000.0 * (1 - 0.2))
+
+    def test_effective_floor(self):
+        from repro.core.tolerance import SlowdownTracker
+
+        t = SlowdownTracker(tolerated_slowdown=0.005, measurement_error=0.01)
+        assert t.effective_slowdown == pytest.approx(0.01)
+
+
+class TestMachineAlgebra:
+    def test_default_power_budget_is_pl1(self):
+        from repro.sim.machine import yeti_machine
+
+        m = yeti_machine(1)
+        assert m.default_power_budget_w() == yeti_socket_config().rapl.pl1_default_w

@@ -1,0 +1,113 @@
+"""Phase-change detection: OI classes, regime switches, FLOPS jumps."""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.core.detector import OIClass, PhaseDetector, classify_oi
+from repro.errors import ControllerError
+
+
+CFG = ControllerConfig()
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "oi,expected",
+        [
+            (0.001, OIClass.HIGHLY_MEMORY),
+            (0.019, OIClass.HIGHLY_MEMORY),
+            (0.02, OIClass.MEMORY),
+            (0.5, OIClass.MEMORY),
+            (1.0, OIClass.CPU),
+            (50.0, OIClass.CPU),
+            (100.0, OIClass.CPU),
+            (150.0, OIClass.HIGHLY_CPU),
+            (float("inf"), OIClass.HIGHLY_CPU),
+        ],
+    )
+    def test_thresholds(self, oi, expected):
+        assert classify_oi(oi, CFG) is expected
+
+    def test_is_memory_property(self):
+        assert OIClass.HIGHLY_MEMORY.is_memory
+        assert OIClass.MEMORY.is_memory
+        assert not OIClass.CPU.is_memory
+        assert not OIClass.HIGHLY_CPU.is_memory
+
+    def test_nan_rejected(self):
+        with pytest.raises(ControllerError):
+            classify_oi(float("nan"), CFG)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ControllerError):
+            classify_oi(-1.0, CFG)
+
+
+class TestDetection:
+    def test_first_sample_is_phase_change(self):
+        d = PhaseDetector(CFG)
+        assert d.update(0.5, 10e9) is True
+
+    def test_stable_phase_no_change(self):
+        d = PhaseDetector(CFG)
+        d.update(0.5, 10e9)
+        assert d.update(0.5, 10e9) is False
+        assert d.update(0.52, 10.1e9) is False
+
+    def test_memory_to_cpu_switch(self):
+        d = PhaseDetector(CFG)
+        d.update(0.5, 10e9)
+        assert d.update(2.0, 11e9) is True
+
+    def test_cpu_to_memory_switch(self):
+        d = PhaseDetector(CFG)
+        d.update(5.0, 100e9)
+        assert d.update(0.1, 90e9) is True
+
+    def test_within_memory_classes_no_switch(self):
+        # highly-memory <-> memory is not a regime change.
+        d = PhaseDetector(CFG)
+        d.update(0.01, 1e9)
+        assert d.update(0.5, 1.5e9) is False
+
+    def test_within_cpu_classes_no_switch(self):
+        d = PhaseDetector(CFG)
+        d.update(5.0, 100e9)
+        assert d.update(150.0, 120e9) is False
+
+    def test_flops_doubling_is_phase_change(self):
+        d = PhaseDetector(CFG)
+        d.update(5.0, 100e9)
+        assert d.update(5.0, 250e9) is True
+
+    def test_doubling_compares_to_previous_tick(self):
+        # HPL's sawtooth: drop to the panel rate, then the 4x return
+        # jump must fire even though the old maximum is not exceeded.
+        d = PhaseDetector(CFG)
+        d.update(150.0, 1000e9)
+        assert d.update(37.0, 260e9) is False  # drop: not a change
+        assert d.update(150.0, 1000e9) is True  # 4x jump: change
+
+    def test_sub_doubling_growth_ignored(self):
+        d = PhaseDetector(CFG)
+        d.update(5.0, 100e9)
+        assert d.update(5.0, 190e9) is False
+
+    def test_oi_class_exposed(self):
+        d = PhaseDetector(CFG)
+        d.update(0.005, 1e9)
+        assert d.oi_class is OIClass.HIGHLY_MEMORY
+
+    def test_oi_class_before_update_rejected(self):
+        with pytest.raises(ControllerError):
+            _ = PhaseDetector(CFG).oi_class
+
+    def test_reset_forgets_history(self):
+        d = PhaseDetector(CFG)
+        d.update(0.5, 10e9)
+        d.reset()
+        assert d.update(0.5, 10e9) is True
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ControllerError):
+            PhaseDetector(CFG).update(1.0, -1.0)

@@ -1,0 +1,253 @@
+"""DUF and DUFP decision logic, driven by hand-crafted measurements."""
+
+import pytest
+
+from repro.config import ControllerConfig, yeti_socket_config
+from repro.core.baselines import DefaultController
+from repro.core.duf import DUF
+from repro.core.dufp import DUFP, OVER_CAP_MARGIN
+from repro.core.runtime import ControllerRuntime
+from repro.hardware.processor import SimulatedProcessor
+from repro.papi.highlevel import Measurement
+
+
+def make(controller_cls, tol=0.10):
+    """One socket + one controller, wired through the real runtime."""
+    cfg = ControllerConfig(tolerated_slowdown=tol)
+    proc = SimulatedProcessor(yeti_socket_config())
+    ctrl = controller_cls(cfg) if controller_cls is not DefaultController else controller_cls()
+    runtime = ControllerRuntime(processors=[proc], controllers=[ctrl], cfg=cfg)
+    runtime.start()
+    return ctrl, proc, runtime
+
+
+def m(flops, bw, power=100.0, dram=25.0, dt=0.2):
+    return Measurement(
+        dt_s=dt,
+        flops_per_s=flops,
+        bytes_per_s=bw,
+        package_power_w=power,
+        dram_power_w=dram,
+    )
+
+
+def latch(proc):
+    proc.rapl.step(0.01, 100.0, 20.0)
+
+
+MEM = dict(flops=12e9, bw=100e9)  # OI 0.12: memory class
+CPU = dict(flops=200e9, bw=50e9)  # OI 4: cpu class
+HI_MEM = dict(flops=1.5e9, bw=100e9)  # OI 0.015: highly memory
+HI_CPU = dict(flops=900e9, bw=6e9)  # OI 150: highly cpu
+
+
+class TestDUF:
+    def test_attach_pins_uncore_at_max(self):
+        ctrl, proc, _ = make(DUF)
+        assert proc.uncore.pinned
+        assert proc.uncore.frequency_hz == pytest.approx(2.4e9)
+
+    def test_steady_phase_decreases_uncore(self):
+        ctrl, proc, _ = make(DUF)
+        for i in range(5):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+        # First tick is the initial phase change; then 4 decreases.
+        assert proc.uncore.frequency_hz == pytest.approx(2.0e9)
+
+    def test_flops_drop_increases_uncore(self):
+        ctrl, proc, _ = make(DUF)
+        ctrl.tick(0.2, m(**MEM))
+        ctrl.tick(0.4, m(**MEM))  # decrease -> 2.3
+        ctrl.tick(0.6, m(flops=9e9, bw=75e9))  # 25% drop > 10% tol
+        assert proc.uncore.frequency_hz == pytest.approx(2.4e9)
+        assert ctrl.ticks[-1].uncore_action == "increase"
+
+    def test_bw_drop_alone_increases_uncore(self):
+        ctrl, proc, _ = make(DUF)
+        ctrl.tick(0.2, m(**CPU))
+        ctrl.tick(0.4, m(**CPU))
+        # FLOPS fine but bandwidth collapsed: DUF watches bw everywhere.
+        ctrl.tick(0.6, m(flops=200e9, bw=20e9))
+        assert ctrl.ticks[-1].uncore_action == "increase"
+
+    def test_phase_change_resets_uncore(self):
+        ctrl, proc, _ = make(DUF)
+        for i in range(6):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+        ctrl.tick(1.4, m(**CPU))  # memory -> cpu regime
+        assert ctrl.ticks[-1].phase_change
+        assert proc.uncore.frequency_hz == pytest.approx(2.4e9)
+
+    def test_boundary_holds(self):
+        cfg_tol = 0.10
+        ctrl, proc, _ = make(DUF, tol=cfg_tol)
+        ctrl.tick(0.2, m(**MEM))
+        ctrl.tick(0.4, m(**MEM))
+        before = proc.uncore.frequency_hz
+        # Exactly at the 10 % line: hold.
+        ctrl.tick(0.6, m(flops=12e9 * 0.9, bw=100e9 * 0.9))
+        assert proc.uncore.frequency_hz == pytest.approx(before)
+        assert ctrl.ticks[-1].uncore_action == "hold"
+
+    def test_duf_never_touches_power_cap(self):
+        ctrl, proc, _ = make(DUF)
+        for i in range(10):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+
+    def test_tick_before_attach_raises(self):
+        cfg = ControllerConfig()
+        with pytest.raises(RuntimeError):
+            DUF(cfg).tick(0.2, m(**MEM))
+
+
+class TestDUFPCapLogic:
+    def test_steady_memory_phase_decreases_cap(self):
+        ctrl, proc, _ = make(DUFP)
+        for i in range(4):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+            latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(110.0)
+        assert proc.rapl.pl2.limit_w == pytest.approx(110.0)
+
+    def test_highly_memory_decreases_unconditionally(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**HI_MEM))
+        latch(proc)
+        # Even a huge flops drop cannot stop the descent in OI < 0.02.
+        ctrl.tick(0.4, m(flops=0.5e9, bw=100e9))
+        latch(proc)
+        assert ctrl.ticks[-1].cap_action == "decrease"
+
+    def test_flops_drop_increases_cap(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**MEM))
+        for i in range(3):
+            ctrl.tick(0.4 + 0.2 * i, m(**MEM))
+            latch(proc)
+        cap_before = proc.rapl.pl1.limit_w
+        ctrl.tick(1.2, m(flops=9e9, bw=75e9))
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(cap_before + 5.0)
+
+    def test_highly_cpu_violation_resets_cap(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**HI_CPU))
+        for i in range(3):
+            ctrl.tick(0.4 + 0.2 * i, m(**HI_CPU))
+            latch(proc)
+        assert proc.rapl.pl1.limit_w < 125.0
+        # 30 % drop in a highly-CPU phase: reset, not a 5 W increase.
+        ctrl.tick(1.2, m(flops=600e9, bw=4e9))
+        latch(proc)
+        assert ctrl.ticks[-1].cap_action == "reset"
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+
+    def test_highly_cpu_bw_violation_resets_cap(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**HI_CPU))
+        ctrl.tick(0.4, m(**HI_CPU))
+        latch(proc)
+        # FLOPS at the boundary but bandwidth collapsed.
+        ctrl.tick(0.6, m(flops=900e9 * 0.9, bw=1e9))
+        latch(proc)
+        assert ctrl.ticks[-1].cap_action == "reset"
+
+    def test_phase_change_resets_both(self):
+        ctrl, proc, _ = make(DUFP)
+        for i in range(5):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+            latch(proc)
+        assert proc.rapl.pl1.limit_w < 125.0
+        ctrl.tick(1.2, m(**CPU))
+        latch(proc)
+        assert ctrl.ticks[-1].phase_change
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+        assert proc.uncore.frequency_hz == pytest.approx(2.4e9)
+
+    def test_power_over_cap_resets(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**MEM))
+        for i in range(3):
+            ctrl.tick(0.4 + 0.2 * i, m(**MEM))
+            latch(proc)
+        cap = proc.rapl.pl1.limit_w
+        over = cap * OVER_CAP_MARGIN + 1.0
+        ctrl.tick(1.2, m(flops=12e9, bw=100e9, power=over))
+        latch(proc)
+        assert ctrl.ticks[-1].cap_action == "reset"
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+
+    def test_small_overshoot_tolerated(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**MEM))
+        ctrl.tick(0.4, m(**MEM))
+        latch(proc)
+        cap = proc.rapl.pl1.limit_w
+        ctrl.tick(0.6, m(flops=12e9, bw=100e9, power=cap * 1.02))
+        assert ctrl.ticks[-1].cap_action != "reset"
+
+    def test_post_reset_tightens_pl2_when_power_fits(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**MEM))  # initial phase change -> reset
+        latch(proc)
+        assert proc.rapl.pl2.limit_w == pytest.approx(150.0)
+        ctrl.tick(0.4, m(flops=12e9, bw=100e9, power=100.0))
+        latch(proc)
+        # PL2 tied down to PL1 because power < cap... unless the tick
+        # also decreased; either way the constraints end up tied.
+        assert proc.rapl.pl2.limit_w == pytest.approx(proc.rapl.pl1.limit_w)
+
+    def test_futile_uncore_increase_raises_cap(self):
+        ctrl, proc, _ = make(DUFP)
+        ctrl.tick(0.2, m(**MEM))
+        for i in range(3):
+            ctrl.tick(0.4 + 0.2 * i, m(**MEM))
+            latch(proc)
+        cap_before = proc.rapl.pl1.limit_w
+        # Drop: uncore increases (cap increases too, flops below tol).
+        ctrl.tick(1.2, m(flops=9e9, bw=75e9))
+        latch(proc)
+        assert ctrl.engine.last_increase_flops is not None
+        cap_mid = proc.rapl.pl1.limit_w
+        # Next tick: flops did NOT improve, but are back within the
+        # tolerance band relative to phase max? No: keep them low but
+        # craft them within tolerance is impossible after a 25 % drop,
+        # so use the interaction flag directly: flops unchanged.
+        ctrl.tick(1.4, m(flops=9e9, bw=75e9))
+        latch(proc)
+        assert proc.rapl.pl1.limit_w >= cap_mid
+
+    def test_cap_floor_respected(self):
+        # Power tracks just under the floor so the over-cap reset never
+        # fires and the descent can bottom out.
+        ctrl, proc, _ = make(DUFP)
+        for i in range(30):
+            ctrl.tick(0.2 * (i + 1), m(**HI_MEM, power=66.0))
+            latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(65.0)
+
+    def test_over_cap_reset_limits_descent_under_sticky_power(self):
+        # If consumption refuses to follow the cap down, the over-cap
+        # rule keeps resetting: the cap sawtooths instead of pinning to
+        # the floor.
+        ctrl, proc, _ = make(DUFP)
+        caps = []
+        for i in range(30):
+            ctrl.tick(0.2 * (i + 1), m(**HI_MEM, power=90.0))
+            latch(proc)
+            caps.append(proc.rapl.pl1.limit_w)
+        assert min(caps) >= 80.0
+        assert 125.0 in caps[1:]  # at least one reset happened
+
+
+class TestDefaultController:
+    def test_default_never_actuates(self):
+        ctrl, proc, _ = make(DefaultController)
+        for i in range(5):
+            ctrl.tick(0.2 * (i + 1), m(**MEM))
+        latch(proc)
+        assert proc.rapl.pl1.limit_w == pytest.approx(125.0)
+        assert not proc.uncore.pinned
+        assert len(ctrl.ticks) == 5

@@ -1,0 +1,186 @@
+"""Simulation engine: phase sequencing, boundary splitting, results."""
+
+import pytest
+
+from repro.config import ControllerConfig, EngineConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import yeti_machine
+from repro.sim.run import run_application
+from repro.workloads.application import Application
+from repro.workloads.phase import phase_from_duration as pfd
+
+
+def tiny_app(durations=(0.5, 0.3), ois=(4.0, 0.1)):
+    phases = [
+        pfd(f"p{i}", d, oi=oi, fpc=2.0)
+        for i, (d, oi) in enumerate(zip(durations, ois))
+    ]
+    return Application(name="tiny", phases=tuple(phases))
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+
+
+class TestEngineBasics:
+    def test_runs_to_completion(self):
+        result = run_application(tiny_app(), DefaultController, noise=QUIET)
+        assert result.execution_time_s == pytest.approx(0.8, rel=0.05)
+
+    def test_phase_spans_recorded(self):
+        result = run_application(tiny_app(), DefaultController, noise=QUIET)
+        spans = result.socket(0).phases
+        assert [s.name for s in spans] == ["p0", "p1"]
+        assert spans[0].start_s == 0.0
+        assert spans[0].end_s == pytest.approx(0.5, rel=0.05)
+        assert spans[1].end_s == pytest.approx(0.8, rel=0.05)
+
+    def test_sub_step_phases_timed_accurately(self):
+        # 30 ms phases on a 10 ms grid: boundary splitting must keep
+        # the total accurate.
+        app = tiny_app(durations=(0.03,) * 10, ois=(2.0,) * 10)
+        result = run_application(app, DefaultController, noise=QUIET)
+        assert result.execution_time_s == pytest.approx(0.3, rel=0.05)
+
+    def test_controller_count_mismatch_rejected(self):
+        machine = yeti_machine(2)
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                machine=machine,
+                application=tiny_app(),
+                controllers=[DefaultController()],
+                controller_cfg=ControllerConfig(),
+            )
+
+    def test_engine_step_must_divide_interval(self):
+        machine = yeti_machine(1)
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                machine=machine,
+                application=tiny_app(),
+                controllers=[DefaultController()],
+                controller_cfg=ControllerConfig(interval_s=0.2),
+                engine_cfg=EngineConfig(dt_s=0.03),
+            )
+
+    def test_timeout_guard(self):
+        machine = yeti_machine(1)
+        engine = SimulationEngine(
+            machine=machine,
+            application=tiny_app(durations=(100.0,), ois=(2.0,)),
+            controllers=[DefaultController()],
+            controller_cfg=ControllerConfig(),
+            engine_cfg=EngineConfig(dt_s=0.01, max_sim_time_s=1.0),
+            noise=QUIET,
+        )
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestWorkConservation:
+    def test_all_flops_retired(self):
+        app = tiny_app()
+        result = run_application(app, DefaultController, noise=QUIET, seed=1)
+        machine_flops = app.total_flops
+        # The socket executed exactly the application's work (within
+        # the final idle step's rounding).
+        sock = result.socket(0)
+        retired = sum(
+            s.flops_rate * (s.time_s - prev)
+            for prev, s in zip(
+                [0.0] + [t.time_s for t in sock.trace[:-1]], sock.trace
+            )
+        )
+        assert retired == pytest.approx(machine_flops, rel=0.02)
+
+    def test_energy_consistency(self):
+        result = run_application(tiny_app(), DefaultController, noise=QUIET)
+        sock = result.socket(0)
+        trace_energy = sum(
+            s.package_power_w * (s.time_s - prev)
+            for prev, s in zip(
+                [0.0] + [t.time_s for t in sock.trace[:-1]], sock.trace
+            )
+        )
+        assert sock.package_energy_j == pytest.approx(trace_energy, rel=0.02)
+
+
+class TestDeterminismAndNoise:
+    def test_same_seed_same_result(self):
+        a = run_application(tiny_app(), DefaultController, seed=5)
+        b = run_application(tiny_app(), DefaultController, seed=5)
+        assert a.execution_time_s == b.execution_time_s
+        assert a.package_energy_j == b.package_energy_j
+
+    def test_different_seed_differs(self):
+        a = run_application(tiny_app(), DefaultController, seed=5)
+        b = run_application(tiny_app(), DefaultController, seed=6)
+        assert a.execution_time_s != b.execution_time_s
+
+    def test_quiet_noise_is_nominal(self):
+        a = run_application(tiny_app(), DefaultController, noise=QUIET, seed=1)
+        b = run_application(tiny_app(), DefaultController, noise=QUIET, seed=2)
+        assert a.execution_time_s == pytest.approx(b.execution_time_s, rel=1e-9)
+
+
+class TestMultiSocket:
+    def test_sockets_run_identical_work(self):
+        result = run_application(
+            tiny_app(), DefaultController, socket_count=2, noise=QUIET
+        )
+        t0 = result.socket(0).finish_time_s
+        t1 = result.socket(1).finish_time_s
+        assert t0 == pytest.approx(t1, rel=0.05)
+
+    def test_execution_time_is_slowest_socket(self):
+        result = run_application(
+            tiny_app(), DefaultController, socket_count=2, seed=3
+        )
+        assert result.execution_time_s == max(
+            s.finish_time_s for s in result.sockets
+        )
+
+    def test_energy_sums_over_sockets(self):
+        result = run_application(
+            tiny_app(), DefaultController, socket_count=2, noise=QUIET
+        )
+        assert result.package_energy_j == pytest.approx(
+            sum(s.package_energy_j for s in result.sockets)
+        )
+
+
+class TestRunResultViews:
+    def test_avg_powers_are_per_socket(self):
+        r1 = run_application(tiny_app(), DefaultController, noise=QUIET)
+        r2 = run_application(
+            tiny_app(), DefaultController, socket_count=2, noise=QUIET
+        )
+        assert r2.avg_package_power_w == pytest.approx(
+            r1.avg_package_power_w, rel=0.05
+        )
+
+    def test_window_energy(self):
+        r = run_application(tiny_app(), DefaultController, noise=QUIET)
+        sock = r.socket(0)
+        pkg_all, dram_all = sock.window_energy_j(0.0, r.execution_time_s + 0.01)
+        assert pkg_all == pytest.approx(sock.package_energy_j, rel=0.05)
+        pkg_half, _ = sock.window_energy_j(0.0, r.execution_time_s / 2)
+        assert 0 < pkg_half < pkg_all
+
+    def test_phase_span_lookup(self):
+        r = run_application(tiny_app(), DefaultController, noise=QUIET)
+        span = r.socket(0).phase_span("p1")
+        assert span.name == "p1"
+        with pytest.raises(SimulationError):
+            r.socket(0).phase_span("nope")
+
+    def test_average_core_freq(self):
+        r = run_application(tiny_app(), DefaultController, noise=QUIET)
+        f = r.socket(0).average_core_freq_hz()
+        assert 1.0e9 <= f <= 2.8e9
+
+    def test_missing_socket_rejected(self):
+        r = run_application(tiny_app(), DefaultController, noise=QUIET)
+        with pytest.raises(SimulationError):
+            r.socket(3)

@@ -1,0 +1,85 @@
+"""Every shipped example must run end-to-end.
+
+Executed in-process (import + ``main()``) so failures carry real
+tracebacks; stdout is captured and sanity-checked for each script's
+headline output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["10"], capsys)
+        assert "power savings" in out
+        assert "slowdown" in out
+
+    def test_motivating_example(self, capsys):
+        out = run_example("motivating_example.py", [], capsys)
+        assert "Fig. 1a" in out
+        assert "cap 100 W" in out
+
+    def test_slowdown_sweep(self, capsys):
+        out = run_example("slowdown_sweep.py", ["EP", "2"], capsys)
+        assert "dufp" in out
+        assert "respected the tolerance" in out
+
+    def test_frequency_trace(self, capsys):
+        out = run_example("frequency_trace.py", ["CG", "10"], capsys)
+        assert "DUF" in out and "DUFP" in out
+        assert "GHz" in out
+
+    def test_custom_application(self, capsys):
+        out = run_example("custom_application.py", [], capsys)
+        assert "STENCIL" in out
+        assert "intel-rapl:0" in out
+        assert "MSR 0x620" in out
+
+    def test_budget_sharing(self, capsys):
+        out = run_example("budget_sharing.py", ["200"], capsys)
+        assert "coordinated" in out
+        assert "Final allocation" in out
+
+    def test_cpu_gpu_budget(self, capsys):
+        out = run_example("cpu_gpu_budget.py", ["300"], capsys)
+        assert "static 50/50" in out
+        assert "coordinated" in out
+
+    def test_trace_replay(self, capsys):
+        out = run_example("trace_replay.py", ["EP"], capsys)
+        assert "recorded" in out
+        assert "replay" in out
+
+    def test_every_example_has_a_test(self):
+        tested = {
+            "quickstart.py",
+            "motivating_example.py",
+            "slowdown_sweep.py",
+            "frequency_trace.py",
+            "custom_application.py",
+            "budget_sharing.py",
+            "cpu_gpu_budget.py",
+            "trace_replay.py",
+        }
+        shipped = {p.name for p in EXAMPLES.glob("*.py")}
+        assert shipped == tested, f"untested examples: {shipped - tested}"

@@ -1,0 +1,203 @@
+"""Experiment harnesses: protocol, sweep, figures, registry.
+
+These run reduced protocols (2-3 runs, scaled apps) so the suite stays
+fast; the full 10-run protocol lives in the benchmarks.
+"""
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.errors import ExperimentError
+from repro.experiments.fig1 import fig1a, fig1b, fig1c
+from repro.experiments.fig3 import fig3a, fig3b, fig3c
+from repro.experiments.fig4 import fig4
+from repro.experiments.fig5 import fig5
+from repro.experiments.protocol import compare, run_protocol
+from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.sweep import run_sweep
+from repro.experiments.table1 import table1
+from repro.workloads.catalog import build_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A reduced sweep shared by the figure tests."""
+    return run_sweep(
+        apps=["CG", "EP"],
+        tolerances_pct=(0.0, 10.0),
+        runs=3,
+        noise=QUIET,
+    )
+
+
+class TestProtocol:
+    def test_runs_recorded(self):
+        app = build_application("EP", scale=0.2)
+        res = run_protocol(app, DefaultController, runs=3, noise=QUIET)
+        assert len(res.times_s) == 3
+        assert len(res.package_power_w) == 3
+
+    def test_keep_trims_by_time(self):
+        app = build_application("EP", scale=0.2)
+        res = run_protocol(app, DefaultController, runs=4, noise=QUIET)
+        assert len(res.keep) == 2
+
+    def test_zero_runs_rejected(self):
+        app = build_application("EP", scale=0.2)
+        with pytest.raises(ExperimentError):
+            run_protocol(app, DefaultController, runs=0)
+
+    def test_compare_same_app_required(self):
+        ep = run_protocol(build_application("EP", scale=0.2), DefaultController, runs=1)
+        cg = run_protocol(build_application("CG", scale=0.2), DefaultController, runs=1)
+        with pytest.raises(ExperimentError):
+            compare(ep, cg)
+
+    def test_compare_default_to_itself_is_zero(self):
+        app = build_application("EP", scale=0.2)
+        res = run_protocol(app, DefaultController, runs=3, noise=QUIET)
+        cmp_ = compare(res, res)
+        assert cmp_.slowdown_pct.mean == pytest.approx(0.0, abs=0.5)
+        assert cmp_.package_savings_pct.mean == pytest.approx(0.0, abs=0.5)
+
+    def test_comparison_signs(self):
+        app = build_application("CG", scale=0.3)
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        default = run_protocol(app, DefaultController, runs=2, noise=QUIET)
+        dufp = run_protocol(
+            app, lambda: DUFP(cfg), controller_cfg=cfg, runs=2, noise=QUIET
+        )
+        cmp_ = compare(dufp, default)
+        assert cmp_.package_savings_pct.mean > 0  # saved power
+        assert cmp_.slowdown_pct.mean >= -1.0  # did not speed up
+
+
+class TestSweep:
+    def test_sweep_structure(self, small_sweep):
+        assert small_sweep.apps == ("CG", "EP")
+        assert small_sweep.tolerances_pct == (0.0, 10.0)
+        assert len(small_sweep.comparisons) == 2 * 2 * 2  # apps x ctrl x tol
+
+    def test_get_lookup(self, small_sweep):
+        c = small_sweep.get("cg", "dufp", 10)
+        assert c.app_name == "CG"
+
+    def test_unknown_key_rejected(self, small_sweep):
+        with pytest.raises(ExperimentError):
+            small_sweep.get("CG", "dufp", 99.0)
+
+    def test_respected_count(self, small_sweep):
+        within, total = small_sweep.respected_count("dufp", slack=1.0)
+        assert total == 4
+        assert within >= 3
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(apps=["EP"], controllers=("magic",), runs=1)
+
+    def test_dufp_beats_duf_on_cg_at_10(self, small_sweep):
+        duf = small_sweep.get("CG", "duf", 10.0)
+        dufp = small_sweep.get("CG", "dufp", 10.0)
+        assert dufp.package_savings_pct.mean > duf.package_savings_pct.mean
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        t = table1()
+        assert t.cores == 64
+        assert (t.uncore_min_ghz, t.uncore_max_ghz) == (1.2, 2.4)
+        assert t.long_term_w == 125.0
+        assert t.short_term_w == 150.0
+
+    def test_render(self):
+        out = table1().render()
+        assert "64" in out and "125" in out and "150" in out
+
+
+class TestFig1:
+    def test_fig1a_shape(self):
+        r = fig1a(runs=2, noise=QUIET)
+        labels = [row.label for row in r.rows]
+        assert labels == ["default", "ufs", "ufs+110W", "ufs+100W"]
+        # Static caps save power but cost time.
+        assert r.row("ufs+100W").power_pct_of_budget < r.row("default").power_pct_of_budget
+        assert r.row("ufs+100W").time_pct_of_default > 105.0
+
+    def test_fig1a_cap_ordering(self):
+        r = fig1a(runs=2, noise=QUIET)
+        assert (
+            r.row("ufs+100W").power_pct_of_budget
+            < r.row("ufs+110W").power_pct_of_budget
+        )
+
+    def test_fig1b_phase_power_reduced(self):
+        r = fig1b(runs=2, noise=QUIET)
+        assert r.row("ufs+100W").power_pct_of_budget < r.row("default").power_pct_of_budget - 8.0
+
+    def test_fig1c_time_unaffected(self):
+        # The headline of the motivation: capping the memory phase is
+        # free.
+        r = fig1c(runs=2, noise=QUIET)
+        for label in ("ufs+110W", "ufs+100W"):
+            assert r.row(label).time_pct_of_default == pytest.approx(100.0, abs=1.0)
+
+    def test_unknown_row_rejected(self):
+        r = fig1a(runs=1, noise=QUIET)
+        with pytest.raises(ExperimentError):
+            r.row("nope")
+
+
+class TestFig3AndFig4:
+    def test_fig3a_panel(self, small_sweep):
+        panel = fig3a(sweep=small_sweep)
+        bar = panel.get("CG", "dufp", 10.0)
+        assert bar.mean <= 12.0  # respects (or nearly) the tolerance
+
+    def test_fig3b_panel(self, small_sweep):
+        panel = fig3b(sweep=small_sweep)
+        assert panel.get("EP", "duf", 10.0).mean > 10.0  # EP's uncore win
+
+    def test_fig3c_panel(self, small_sweep):
+        panel = fig3c(sweep=small_sweep)
+        assert panel.get("EP", "duf", 10.0).mean > 5.0
+
+    def test_fig4_panel(self, small_sweep):
+        panel = fig4(sweep=small_sweep)
+        assert panel.get("CG", "dufp", 10.0).mean > 0.0
+
+    def test_render_contains_all_apps(self, small_sweep):
+        out = fig3a(sweep=small_sweep).render()
+        assert "CG" in out and "EP" in out and "duf" in out and "dufp" in out
+
+
+class TestFig5:
+    def test_dufp_lowers_average_frequency(self):
+        r = fig5(noise=QUIET)
+        assert r.duf_avg_ghz == pytest.approx(2.8, abs=0.05)
+        assert r.dufp_avg_ghz < r.duf_avg_ghz - 0.15
+
+    def test_series_shapes(self):
+        r = fig5(noise=QUIET)
+        t, v = r.dufp_series
+        assert len(t) == len(v) > 10
+        assert all(1.0 <= x <= 2.8 for x in v)
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        ids = experiment_ids()
+        for expected in ("table1", "fig1a", "fig3a", "fig4", "fig5", "all"):
+            assert expected in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_run_table1(self):
+        out = run_experiment("table1")
+        assert "Table I" in out

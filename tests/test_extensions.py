@@ -1,0 +1,121 @@
+"""Future-work extension controllers (DUFPF, AdaptiveIntervalDUFP)."""
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.core.extensions import DUFPF, AdaptiveIntervalDUFP
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+
+def run(app_name, factory, cfg, seed=5):
+    return run_application(
+        build_application(app_name), factory, controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+
+
+class TestDUFPF:
+    def test_name(self):
+        assert DUFPF(ControllerConfig()).name == "dufpf"
+
+    def test_ep_gains_over_dufp(self):
+        # The headline of the extension: explicit frequency control
+        # spends the slowdown budget where RAPL's indirect control
+        # could not (EP's cap path resets on every violation).
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        default = run("EP", DefaultController, cfg)
+        dufp = run("EP", lambda: DUFP(cfg), cfg)
+        dufpf = run("EP", lambda: DUFPF(cfg), cfg)
+        save_dufp = 1 - dufp.avg_package_power_w / default.avg_package_power_w
+        save_dufpf = 1 - dufpf.avg_package_power_w / default.avg_package_power_w
+        assert save_dufpf > save_dufp + 0.03
+
+    def test_ep_respects_tolerance(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        default = run("EP", DefaultController, cfg)
+        dufpf = run("EP", lambda: DUFPF(cfg), cfg)
+        slowdown = dufpf.execution_time_s / default.execution_time_s - 1
+        assert slowdown < 0.10 + 0.015
+
+    def test_ceiling_actuated_through_perf_ctl(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        controllers = []
+
+        def factory():
+            c = DUFPF(cfg)
+            controllers.append(c)
+            return c
+
+        run("EP", factory, cfg)
+        # The final tick sees the idle tail and resets the ceiling, so
+        # check the action log: the ceiling stepped down repeatedly.
+        decreases = sum(
+            1 for t in controllers[0].ticks if t.cap_action == "decrease"
+        )
+        assert decreases >= 3
+
+    def test_follower_cap_stays_above_power(self):
+        # The cap must shadow consumption, not constrain the ceiling.
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        controllers = []
+
+        def factory():
+            c = DUFPF(cfg)
+            controllers.append(c)
+            return c
+
+        result = run("CG", factory, cfg)
+        assert result.avg_package_power_w < 125.0
+
+    def test_tolerance_compliance_everywhere(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        for app in ("CG", "MG", "HPL"):
+            default = run(app, DefaultController, cfg)
+            dufpf = run(app, lambda: DUFPF(cfg), cfg)
+            slowdown = dufpf.execution_time_s / default.execution_time_s - 1
+            assert slowdown < 0.10 + 0.02, f"{app}: {slowdown:.3f}"
+
+
+class TestAdaptiveInterval:
+    def test_name(self):
+        assert AdaptiveIntervalDUFP(ControllerConfig()).name == "dufp-adaptive"
+
+    def test_bad_fine_ticks_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveIntervalDUFP(ControllerConfig(), fine_ticks=0)
+
+    def test_behaves_like_dufp_in_steady_state(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        dufp = run("EP", lambda: DUFP(cfg), cfg)
+        adaptive = run("EP", lambda: AdaptiveIntervalDUFP(cfg), cfg)
+        assert adaptive.avg_package_power_w == pytest.approx(
+            dufp.avg_package_power_w, rel=0.05
+        )
+
+    def test_error_band_restored_after_fine_window(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        controllers = []
+
+        def factory():
+            c = AdaptiveIntervalDUFP(cfg, fine_ticks=2)
+            controllers.append(c)
+            return c
+
+        run("UA", factory, cfg)
+        c = controllers[0]
+        assert c.cap_flops.measurement_error == cfg.measurement_error
+        assert c.engine.flops.measurement_error == cfg.measurement_error
+
+    def test_does_not_hurt_ua_compliance(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.0)
+        default = run("UA", DefaultController, cfg)
+        dufp = run("UA", lambda: DUFP(cfg), cfg)
+        adaptive = run("UA", lambda: AdaptiveIntervalDUFP(cfg), cfg)
+        miss_dufp = dufp.execution_time_s / default.execution_time_s - 1
+        miss_adaptive = adaptive.execution_time_s / default.execution_time_s - 1
+        assert miss_adaptive <= miss_dufp + 0.01

@@ -1,0 +1,168 @@
+"""User-space interfaces: msr-tools, powercap sysfs, cpufreq."""
+
+import pytest
+
+from repro.config import yeti_socket_config
+from repro.errors import MSRError, PowercapError
+from repro.hardware.msr import MSR
+from repro.hardware.processor import SimulatedProcessor
+from repro.interfaces.cpufreq import CpufreqView
+from repro.interfaces.msr_tools import MSRTools
+from repro.interfaces.powercap import PowercapTree
+
+
+@pytest.fixture
+def proc():
+    return SimulatedProcessor(yeti_socket_config())
+
+
+@pytest.fixture
+def tools(proc):
+    return MSRTools(proc.msrs)
+
+
+@pytest.fixture
+def tree(proc):
+    return PowercapTree([proc.rapl])
+
+
+class TestMSRTools:
+    def test_rdmsr_by_int(self, tools):
+        assert tools.rdmsr(MSR.MSR_RAPL_POWER_UNIT) != 0
+
+    def test_rdmsr_by_hex_string(self, tools):
+        assert tools.rdmsr("0x606") == tools.rdmsr(MSR.MSR_RAPL_POWER_UNIT)
+
+    def test_rdmsr_by_decimal_string(self, tools):
+        assert tools.rdmsr(str(MSR.MSR_RAPL_POWER_UNIT)) == tools.rdmsr(0x606)
+
+    def test_rdmsr_field_extraction(self, tools):
+        # Like `rdmsr -f 6:0 0x620`: the uncore max ratio.
+        assert tools.rdmsr(MSR.MSR_UNCORE_RATIO_LIMIT, field=(6, 0)) == 24
+
+    def test_wrmsr(self, tools, proc):
+        tools.wrmsr(MSR.MSR_UNCORE_RATIO_LIMIT, (18 << 8) | 18)
+        assert proc.uncore.frequency_hz == pytest.approx(1.8e9)
+
+    def test_update_field_rmw(self, tools):
+        tools.update_field(MSR.MSR_UNCORE_RATIO_LIMIT, 6, 0, 20)
+        assert tools.rdmsr(MSR.MSR_UNCORE_RATIO_LIMIT, field=(6, 0)) == 20
+        assert tools.rdmsr(MSR.MSR_UNCORE_RATIO_LIMIT, field=(14, 8)) == 12
+
+    def test_bad_address_string(self, tools):
+        with pytest.raises(MSRError):
+            tools.rdmsr("zzz")
+
+
+class TestPowercapTree:
+    def test_zone_names(self, tree):
+        assert tree.zone("intel-rapl:0").domain == "package"
+        assert tree.zone("intel-rapl:0:0").domain == "dram"
+
+    def test_unknown_zone(self, tree):
+        with pytest.raises(PowercapError):
+            tree.zone("intel-rapl:9")
+
+    def test_read_name(self, tree):
+        assert tree.read("intel-rapl:0/name") == "package-0"
+        assert tree.read("intel-rapl:0:0/name") == "dram"
+
+    def test_read_constraint_names(self, tree):
+        assert tree.read("intel-rapl:0/constraint_0_name") == "long_term"
+        assert tree.read("intel-rapl:0/constraint_1_name") == "short_term"
+
+    def test_read_default_limits_uw(self, tree):
+        assert tree.read("intel-rapl:0/constraint_0_power_limit_uw") == "125000000"
+        assert tree.read("intel-rapl:0/constraint_1_power_limit_uw") == "150000000"
+
+    def test_write_long_term_limit(self, tree, proc):
+        tree.write("intel-rapl:0/constraint_0_power_limit_uw", "100000000")
+        proc.rapl.step(0.01, 100.0, 10.0)  # latch
+        assert proc.rapl.pl1.limit_w == pytest.approx(100.0)
+
+    def test_write_long_above_short_drags_short_up(self, tree, proc):
+        tree.write("intel-rapl:0/constraint_1_power_limit_uw", "100000000")
+        proc.rapl.step(0.01, 100.0, 10.0)
+        tree.write("intel-rapl:0/constraint_0_power_limit_uw", "120000000")
+        proc.rapl.step(0.01, 100.0, 10.0)
+        assert proc.rapl.pl1.limit_w == pytest.approx(120.0)
+        assert proc.rapl.pl2.limit_w == pytest.approx(120.0)
+
+    def test_energy_uj_reads_counter(self, tree, proc):
+        proc.rapl.step(1.0, 100.0, 25.0)
+        pkg = int(tree.read("intel-rapl:0/energy_uj"))
+        dram = int(tree.read("intel-rapl:0:0/energy_uj"))
+        assert pkg == pytest.approx(100e6, rel=0.01)
+        assert dram == pytest.approx(25e6, rel=0.01)
+
+    def test_max_energy_range(self, tree):
+        rng = int(tree.read("intel-rapl:0/max_energy_range_uj"))
+        assert rng == int((1 << 32) * 2.0**-14 * 1e6)
+
+    def test_dram_zone_refuses_capping(self, tree):
+        # The paper: "memory power capping is not available on the
+        # processor that we used".
+        with pytest.raises(PowercapError):
+            tree.zone("intel-rapl:0:0").set_power_limit_uw(0, 10_000_000)
+
+    def test_dram_zone_has_no_constraints(self, tree):
+        assert tree.zone("intel-rapl:0:0").constraints == ()
+
+    def test_sysfs_prefix_stripped(self, tree):
+        v = tree.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+        assert int(v) >= 0
+
+    def test_bad_attribute(self, tree):
+        with pytest.raises(PowercapError):
+            tree.read("intel-rapl:0/nonsense")
+
+    def test_non_integer_write_rejected(self, tree):
+        with pytest.raises(PowercapError):
+            tree.write("intel-rapl:0/constraint_0_power_limit_uw", "lots")
+
+    def test_set_both_limits_atomic(self, tree, proc):
+        tree.package_zone(0).set_both_limits_uw(90_000_000, 90_000_000)
+        proc.rapl.step(0.01, 90.0, 10.0)
+        assert proc.rapl.pl1.limit_w == pytest.approx(90.0)
+        assert proc.rapl.pl2.limit_w == pytest.approx(90.0)
+
+    def test_time_window_write(self, tree, proc):
+        tree.write("intel-rapl:0/constraint_0_time_window_us", "500000")
+        proc.rapl.step(0.01, 90.0, 10.0)
+        assert proc.rapl.pl1.window_s == pytest.approx(0.5)
+
+    def test_multi_socket_tree(self):
+        procs = [SimulatedProcessor(yeti_socket_config(), socket_id=i) for i in range(4)]
+        tree = PowercapTree([p.rapl for p in procs])
+        assert len(tree.zones) == 8
+        tree.package_zone(3).set_both_limits_uw(80_000_000, 80_000_000)
+        procs[3].rapl.step(0.01, 80.0, 10.0)
+        assert procs[3].rapl.pl1.limit_w == pytest.approx(80.0)
+        assert procs[0].rapl.pl1.limit_w == pytest.approx(125.0)
+
+
+class TestCpufreq:
+    def test_current_frequency_khz(self, proc):
+        view = CpufreqView(proc.dvfs)
+        assert view.scaling_cur_freq_khz == 2_800_000
+
+    def test_limits(self, proc):
+        view = CpufreqView(proc.dvfs)
+        assert view.scaling_min_freq_khz == 1_000_000
+        assert view.scaling_max_freq_khz == 2_800_000
+        assert view.base_frequency_khz == 2_100_000
+
+    def test_governor_name(self, proc):
+        assert CpufreqView(proc.dvfs).scaling_governor == "performance"
+
+    def test_available_frequencies(self, proc):
+        freqs = CpufreqView(proc.dvfs).scaling_available_frequencies_khz
+        assert len(freqs) == 19
+        assert freqs[0] == 1_000_000
+
+    def test_aperf_mperf_average(self, proc):
+        proc.dvfs.set_rapl_clamp(1.4e9)
+        proc.dvfs.advance(1.0)
+        view = CpufreqView(proc.dvfs)
+        f = view.aperf_mperf_freq_hz(proc.dvfs.aperf, proc.dvfs.mperf)
+        assert f == pytest.approx(1.4e9, rel=1e-6)

@@ -1,0 +1,63 @@
+"""Repository hygiene enforced as tests."""
+
+import ast
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+from lint_imports import check_file  # noqa: E402
+
+SOURCE_FILES = sorted((REPO / "src").rglob("*.py"))
+
+
+class TestImports:
+    @pytest.mark.parametrize(
+        "path", SOURCE_FILES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_no_unused_imports(self, path):
+        assert check_file(path) == []
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "path", SOURCE_FILES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        if path.name == "__main__.py":
+            return
+        assert ast.get_docstring(tree), f"{path} has no module docstring"
+
+    def test_public_classes_documented(self):
+        missing = []
+        for path in SOURCE_FILES:
+            tree = ast.parse(path.read_text())
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        missing.append(f"{path.name}:{node.name}")
+        assert not missing, f"classes without docstrings: {missing}"
+
+    def test_public_functions_documented(self):
+        missing = []
+        for path in SOURCE_FILES:
+            tree = ast.parse(path.read_text())
+            for node in tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not node.name.startswith("_"):
+                    if not ast.get_docstring(node):
+                        missing.append(f"{path.name}:{node.name}")
+        assert not missing, f"functions without docstrings: {missing}"
+
+
+class TestCompileAll:
+    @pytest.mark.parametrize(
+        "path", SOURCE_FILES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")

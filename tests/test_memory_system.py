@@ -1,0 +1,86 @@
+"""Memory system: bandwidth rooflines and DRAM power."""
+
+import pytest
+
+from repro.config import CoreConfig, MemoryConfig, UncoreConfig
+from repro.hardware.memory import MemorySystem
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(MemoryConfig(), CoreConfig(), UncoreConfig())
+
+
+class TestBandwidthRooflines:
+    def test_peak_at_max_clocks(self, mem):
+        bw = mem.achievable_bandwidth(2.8e9, 2.4e9)
+        assert bw == pytest.approx(105e9)
+
+    def test_uncore_limit_linear_below_saturation(self, mem):
+        bw = mem.uncore_bw_limit(1.2e9)
+        assert bw == pytest.approx(52.0 * 1.2e9)
+        assert bw < 105e9
+
+    def test_uncore_saturation_point(self, mem):
+        sat = mem.saturation_uncore_hz()
+        assert mem.uncore_bw_limit(sat) == pytest.approx(105e9)
+        assert 1.8e9 < sat < 2.2e9
+
+    def test_core_limit_binds_at_low_frequency(self, mem):
+        # This is the 65 W floor story: at 1.0 GHz the cores can just
+        # barely keep the channels fed.
+        bw = mem.achievable_bandwidth(1.0e9, 2.4e9)
+        assert bw == pytest.approx(105e9, rel=0.05)
+
+    def test_lower_uncore_cuts_bandwidth(self, mem):
+        hi = mem.achievable_bandwidth(2.8e9, 2.4e9)
+        lo = mem.achievable_bandwidth(2.8e9, 1.2e9)
+        assert lo < hi
+
+    def test_active_core_scaling(self, mem):
+        all_cores = mem.core_bw_limit(2.8e9)
+        four = mem.core_bw_limit(2.8e9, active_cores=4)
+        assert four == pytest.approx(all_cores / 4.0)
+
+    def test_invalid_inputs_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.uncore_bw_limit(0.0)
+        with pytest.raises(ValueError):
+            mem.core_bw_limit(2.8e9, active_cores=0)
+        with pytest.raises(ValueError):
+            mem.achievable_bandwidth(-1.0, 2.4e9)
+
+
+class TestTrafficUtilisation:
+    def test_zero_traffic(self, mem):
+        assert mem.traffic_utilisation(0.0) == 0.0
+
+    def test_full_traffic(self, mem):
+        assert mem.traffic_utilisation(105e9) == pytest.approx(1.0)
+
+    def test_clamped_above_peak(self, mem):
+        assert mem.traffic_utilisation(300e9) == 1.0
+
+    def test_negative_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.traffic_utilisation(-1.0)
+
+
+class TestDRAMPower:
+    def test_static_floor(self, mem):
+        assert mem.dram_power(0.0) == pytest.approx(14.0)
+
+    def test_linear_in_bandwidth(self, mem):
+        p0 = mem.dram_power(0.0)
+        p1 = mem.dram_power(50e9)
+        p2 = mem.dram_power(100e9)
+        assert p2 - p1 == pytest.approx(p1 - p0)
+
+    def test_full_bandwidth_power_plausible(self, mem):
+        # ~14 W static + ~16 W dynamic at 105 GB/s, matching the
+        # magnitude of the paper's per-socket DRAM measurements.
+        assert 25.0 < mem.dram_power(105e9) < 35.0
+
+    def test_negative_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.dram_power(-1.0)

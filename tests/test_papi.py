@@ -1,0 +1,218 @@
+"""PAPI layer: registry, event sets, components, interval meter."""
+
+import numpy as np
+import pytest
+
+from repro.config import yeti_socket_config
+from repro.errors import EventSetStateError, PAPIError
+from repro.hardware.processor import PhaseWork, SimulatedProcessor
+from repro.papi.components import bind_components
+from repro.papi.events import Event, EventRegistry, default_registry
+from repro.papi.eventset import EventSet, EventSetState
+from repro.papi.highlevel import IntervalMeter
+
+
+@pytest.fixture
+def proc():
+    return SimulatedProcessor(yeti_socket_config())
+
+
+@pytest.fixture
+def components(proc):
+    return bind_components(proc)
+
+
+WORK = PhaseWork(flops=1e12, bytes=1e12, fpc=2.0)
+
+
+class TestRegistry:
+    def test_default_events_present(self):
+        reg = default_registry()
+        names = reg.names()
+        assert "PAPI_DP_OPS" in names
+        assert "skx_unc_imc::UNC_M_CAS_COUNT:ALL" in names
+        assert "rapl:::PACKAGE_ENERGY:PACKAGE0" in names
+        assert "rapl:::DRAM_ENERGY:PACKAGE0" in names
+
+    def test_resolve_by_name_and_code(self):
+        reg = default_registry()
+        e = reg.resolve("PAPI_DP_OPS")
+        assert reg.resolve(e.code) is e
+
+    def test_unknown_event(self):
+        with pytest.raises(PAPIError):
+            default_registry().resolve("PAPI_NOPE")
+
+    def test_multi_socket_registry(self):
+        reg = default_registry(socket_count=4)
+        assert "rapl:::PACKAGE_ENERGY:PACKAGE3" in reg.names()
+
+    def test_duplicate_registration_rejected(self):
+        reg = EventRegistry()
+        e = Event("X", 1, "c", "", "")
+        reg.register(e)
+        with pytest.raises(PAPIError):
+            reg.register(Event("X", 2, "c", "", ""))
+        with pytest.raises(PAPIError):
+            reg.register(Event("Y", 1, "c", "", ""))
+
+    def test_by_component(self):
+        reg = default_registry()
+        rapl_events = reg.by_component("rapl")
+        assert len(rapl_events) == 2
+
+
+class TestEventSetLifecycle:
+    def test_initial_state_stopped(self, components):
+        assert EventSet(components).state is EventSetState.STOPPED
+
+    def test_add_while_running_rejected(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        es.start()
+        with pytest.raises(EventSetStateError):
+            es.add_event("skx_unc_imc::UNC_M_CAS_COUNT:ALL")
+
+    def test_duplicate_add_rejected(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        with pytest.raises(PAPIError):
+            es.add_event("PAPI_DP_OPS")
+
+    def test_start_empty_rejected(self, components):
+        with pytest.raises(EventSetStateError):
+            EventSet(components).start()
+
+    def test_double_start_rejected(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        es.start()
+        with pytest.raises(EventSetStateError):
+            es.start()
+
+    def test_read_when_stopped_rejected(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        with pytest.raises(EventSetStateError):
+            es.read()
+
+    def test_remove_event(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        es.remove_event("PAPI_DP_OPS")
+        assert es.events == ()
+
+    def test_remove_missing_rejected(self, components):
+        es = EventSet(components)
+        with pytest.raises(PAPIError):
+            es.remove_event("PAPI_DP_OPS")
+
+
+class TestCounting:
+    def _counting_set(self, components):
+        es = EventSet(components)
+        es.add_event("PAPI_DP_OPS")
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+        es.start()
+        return es
+
+    def test_counts_since_start(self, proc, components):
+        es = self._counting_set(components)
+        for _ in range(10):
+            proc.step(0.01, WORK)
+        flops, energy_nj = es.read()
+        assert flops == pytest.approx(proc.flops_retired, rel=0.01)
+        assert energy_nj > 0
+
+    def test_read_keeps_accumulating(self, proc, components):
+        es = self._counting_set(components)
+        proc.step(0.1, WORK)
+        first, _ = es.read()
+        proc.step(0.1, WORK)
+        second, _ = es.read()
+        assert second > first
+
+    def test_reset_zeroes_virtual_counters(self, proc, components):
+        es = self._counting_set(components)
+        proc.step(0.1, WORK)
+        es.read()
+        es.reset()
+        flops, _ = es.read()
+        assert flops == 0
+
+    def test_stop_returns_final_counts(self, proc, components):
+        es = self._counting_set(components)
+        proc.step(0.1, WORK)
+        flops, _ = es.stop()
+        assert flops > 0
+        assert es.state is EventSetState.STOPPED
+
+    def test_energy_wrap_corrected(self, proc, components):
+        # Push the 32-bit energy counter across its wrap point between
+        # two reads; the event set must report the true delta.
+        es = self._counting_set(components)
+        wrap_j = (1 << 32) * proc.rapl.package.energy_unit_j
+        proc.rapl.package._energy_j = wrap_j - 5.0
+        es.reset()
+        before = proc.rapl.package.total_energy_j
+        proc.rapl.package.accumulate(10.0)
+        _, energy_nj = es.read()
+        assert energy_nj * 1e-9 == pytest.approx(10.0, rel=0.01)
+        assert proc.rapl.package.total_energy_j > before
+
+
+class TestIntervalMeter:
+    def test_sample_rates(self, proc):
+        meter = IntervalMeter(proc)
+        meter.start()
+        for _ in range(20):
+            proc.step(0.01, WORK)
+        m = meter.sample(0.2)
+        assert m.flops_per_s == pytest.approx(proc.state.flops_rate, rel=0.02)
+        assert m.bytes_per_s == pytest.approx(proc.state.bytes_rate, rel=0.02)
+        assert m.package_power_w == pytest.approx(
+            proc.state.package.total_w, rel=0.05
+        )
+
+    def test_operational_intensity(self, proc):
+        meter = IntervalMeter(proc)
+        meter.start()
+        for _ in range(20):
+            proc.step(0.01, WORK)
+        m = meter.sample(0.2)
+        assert m.operational_intensity == pytest.approx(1.0, rel=0.05)
+
+    def test_oi_infinite_without_traffic(self, proc):
+        meter = IntervalMeter(proc)
+        meter.start()
+        m = meter.sample(0.2)  # no work executed: zero bytes
+        assert m.operational_intensity == float("inf")
+
+    def test_sample_before_start_rejected(self, proc):
+        with pytest.raises(PAPIError):
+            IntervalMeter(proc).sample(0.2)
+
+    def test_noise_requires_rng(self, proc):
+        with pytest.raises(PAPIError):
+            IntervalMeter(proc, counter_noise=0.01)
+
+    def test_noise_perturbs_readings(self, proc):
+        rng = np.random.default_rng(7)
+        meter = IntervalMeter(proc, rng=rng, counter_noise=0.05)
+        meter.start()
+        samples = []
+        for _ in range(20):
+            proc.step(0.01, WORK)
+            samples.append(meter.sample(0.01).flops_per_s)
+        assert len(set(samples)) > 1
+
+    def test_sequential_samples_are_independent_intervals(self, proc):
+        for _ in range(20):  # let the uncore governor settle
+            proc.step(0.01, WORK)
+        meter = IntervalMeter(proc)
+        meter.start()
+        proc.step(0.2, WORK)
+        m1 = meter.sample(0.2)
+        proc.step(0.2, WORK)
+        m2 = meter.sample(0.2)
+        assert m2.flops_per_s == pytest.approx(m1.flops_per_s, rel=0.05)

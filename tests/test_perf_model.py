@@ -1,0 +1,126 @@
+"""Roofline execution model: phase times and instantaneous rates."""
+
+import pytest
+
+from repro.config import CoreConfig, MemoryConfig, UncoreConfig
+from repro.hardware.memory import MemorySystem
+from repro.hardware.perf import PhaseExecutionModel
+
+
+@pytest.fixture
+def model():
+    mem = MemorySystem(MemoryConfig(), CoreConfig(), UncoreConfig())
+    return PhaseExecutionModel(CoreConfig(), mem)
+
+
+F_MAX = 2.8e9
+U_MAX = 2.4e9
+
+
+class TestPhaseTime:
+    def test_compute_bound_time(self, model):
+        # 1e12 flops at 16 cores * 4 flops/cycle * 2.8 GHz.
+        t = model.phase_time(1e12, 0.0, 4.0, F_MAX, U_MAX)
+        assert t == pytest.approx(1e12 / (16 * 4 * F_MAX))
+
+    def test_memory_bound_time(self, model):
+        t = model.phase_time(1e9, 105e9, 0.5, F_MAX, U_MAX)
+        assert t == pytest.approx(1.0, rel=0.05)
+
+    def test_compute_time_scales_with_core_freq(self, model):
+        t_fast = model.phase_time(1e12, 0.0, 4.0, F_MAX, U_MAX)
+        t_slow = model.phase_time(1e12, 0.0, 4.0, 1.4e9, U_MAX)
+        assert t_slow == pytest.approx(2.0 * t_fast)
+
+    def test_memory_time_scales_with_uncore_below_saturation(self, model):
+        t_fast = model.phase_time(0.0, 1e12, 1.0, F_MAX, U_MAX)
+        t_slow = model.phase_time(0.0, 1e12, 1.0, F_MAX, 1.2e9)
+        assert t_slow > t_fast * 1.5
+
+    def test_uncore_sensitivity_inflates_compute(self, model):
+        base = model.phase_time(1e12, 1e6, 4.0, F_MAX, 1.2e9)
+        sensitive = model.phase_time(
+            1e12, 1e6, 4.0, F_MAX, 1.2e9, uncore_sensitivity=0.3
+        )
+        assert sensitive == pytest.approx(base * 1.3, rel=0.01)
+
+    def test_latency_sensitivity_inflates_memory(self, model):
+        base = model.phase_time(0.0, 1e12, 1.0, F_MAX, 1.2e9)
+        sensitive = model.phase_time(
+            0.0, 1e12, 1.0, F_MAX, 1.2e9, latency_sensitivity=0.5
+        )
+        assert sensitive == pytest.approx(base * 1.5, rel=0.01)
+
+    def test_no_penalty_at_max_uncore(self, model):
+        base = model.phase_time(1e11, 1e11, 2.0, F_MAX, U_MAX)
+        with_sens = model.phase_time(
+            1e11, 1e11, 2.0, F_MAX, U_MAX,
+            latency_sensitivity=0.5, uncore_sensitivity=0.5,
+        )
+        assert with_sens == pytest.approx(base)
+
+    def test_balanced_phase_costs_more_than_either_roof(self, model):
+        # Imperfect overlap: a balanced phase exceeds max(t_c, t_m).
+        flops, bytes_ = 1.2e11, 1e12
+        t = model.phase_time(flops, bytes_, 0.32, F_MAX, U_MAX)
+        t_c = flops / (16 * 0.32 * F_MAX)
+        t_m = bytes_ / 105e9
+        assert t > max(t_c, t_m)
+        assert t < t_c + t_m
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.phase_time(-1.0, 0.0, 1.0, F_MAX, U_MAX)
+        with pytest.raises(ValueError):
+            model.phase_time(1.0, 0.0, 0.0, F_MAX, U_MAX)
+        with pytest.raises(ValueError):
+            model.phase_time(1.0, 0.0, 1.0, 0.0, U_MAX)
+
+
+class TestInstantaneousRates:
+    def test_rates_consistent_with_time(self, model):
+        flops, bytes_ = 2e11, 1e12
+        r = model.instantaneous(flops, bytes_, 0.5, F_MAX, U_MAX)
+        t = model.phase_time(flops, bytes_, 0.5, F_MAX, U_MAX)
+        assert r.flops_rate == pytest.approx(flops / t)
+        assert r.bytes_rate == pytest.approx(bytes_ / t)
+        assert r.progress_rate == pytest.approx(1.0 / t)
+
+    def test_oi_preserved_by_measurement(self, model):
+        # Measured FLOPS/s / bytes/s equals the phase's static OI: the
+        # paper's phase classifier is throttle-invariant.
+        r_fast = model.instantaneous(2e11, 1e12, 0.5, F_MAX, U_MAX)
+        r_slow = model.instantaneous(2e11, 1e12, 0.5, 1.2e9, 1.2e9)
+        assert r_fast.flops_rate / r_fast.bytes_rate == pytest.approx(0.2)
+        assert r_slow.flops_rate / r_slow.bytes_rate == pytest.approx(0.2)
+
+    def test_bound_classification_compute(self, model):
+        r = model.instantaneous(1e12, 1e6, 4.0, F_MAX, U_MAX)
+        assert r.bound == "compute"
+        assert r.core_activity > 0.9
+
+    def test_bound_classification_memory(self, model):
+        r = model.instantaneous(1e9, 1e12, 0.5, F_MAX, U_MAX)
+        assert r.bound == "memory"
+        assert r.core_activity < 0.2
+
+    def test_bound_classification_balanced(self, model):
+        # Construct t_c == t_m exactly.
+        flops = 16 * 1.0 * F_MAX  # 1 second of compute at fpc=1
+        bytes_ = 105e9  # 1 second of memory
+        r = model.instantaneous(flops, bytes_, 1.0, F_MAX, U_MAX)
+        assert r.bound == "balanced"
+
+    def test_traffic_util_tracks_bandwidth(self, model):
+        r = model.instantaneous(1e9, 1e12, 0.5, F_MAX, U_MAX)
+        assert 0.8 < r.traffic_util <= 1.0
+
+    def test_empty_phase_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.instantaneous(0.0, 0.0, 1.0, F_MAX, U_MAX)
+
+    def test_slower_clocks_never_raise_rates(self, model):
+        fast = model.instantaneous(2e11, 1e12, 0.5, F_MAX, U_MAX)
+        slow = model.instantaneous(2e11, 1e12, 0.5, 2.0e9, 1.8e9)
+        assert slow.flops_rate <= fast.flops_rate + 1e-6
+        assert slow.bytes_rate <= fast.bytes_rate + 1e-6

@@ -1,0 +1,89 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
+from repro.errors import ExperimentError
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart({"CG": 13.98, "EP": 24.27})
+        assert "CG" in out and "EP" in out
+
+    def test_values_shown(self):
+        out = bar_chart({"CG": 13.98})
+        assert "+13.98" in out
+
+    def test_largest_bar_fills_width(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        a_line = next(l for l in out.splitlines() if l.startswith("a"))
+        assert a_line.count("█") == 20
+
+    def test_proportionality(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        b_line = next(l for l in out.splitlines() if l.startswith("b"))
+        assert b_line.count("█") == 10
+
+    def test_negative_marked(self):
+        out = bar_chart({"loss": -3.0, "gain": 6.0})
+        loss_line = next(l for l in out.splitlines() if "loss" in l)
+        assert "|-" in loss_line
+        assert "-3.00" in loss_line
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="Fig X")
+        assert out.splitlines()[0] == "Fig X"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+
+    def test_all_zero_values(self):
+        out = bar_chart({"a": 0.0})
+        assert "+0.00" in out
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        out = grouped_bar_chart(
+            ["CG", "EP"],
+            {"@5%": {"CG": 2.0, "EP": 16.0}, "@10%": {"CG": 18.0, "EP": 16.5}},
+        )
+        assert out.splitlines()[0] == "CG"
+        assert "@5%" in out and "@10%" in out
+
+    def test_missing_group_entry_skipped(self):
+        out = grouped_bar_chart(["A", "B"], {"s": {"A": 1.0}})
+        assert "B" in out
+        assert out.count("|") == 2  # only one bar rendered
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            grouped_bar_chart([], {})
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▏▎▍▌▋▊▉█"
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_explicit_bounds_clamp(self):
+        line = sparkline([0.0, 10.0], lo=2.0, hi=4.0)
+        assert line[0] == "▏"
+        assert line[1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+    def test_non_finite_bounds_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([float("nan")])

@@ -1,0 +1,112 @@
+"""Package power model: forward evaluation and inversion."""
+
+import pytest
+
+from repro.config import CoreConfig, PowerModelConfig, UncoreConfig
+from repro.hardware.power import PackagePowerModel
+
+
+@pytest.fixture
+def model():
+    return PackagePowerModel(CoreConfig(), UncoreConfig(), PowerModelConfig())
+
+
+class TestForwardModel:
+    def test_power_increases_with_frequency(self, model):
+        low = model.core_power(1.5e9, 1.0)
+        high = model.core_power(2.8e9, 1.0)
+        assert high > low
+
+    def test_power_superlinear_in_frequency(self, model):
+        # V scales with f, so power grows faster than linearly.
+        p1 = model.core_power(1.4e9, 1.0)
+        p2 = model.core_power(2.8e9, 1.0)
+        assert p2 > 2.0 * p1
+
+    def test_activity_scales_core_power(self, model):
+        idle = model.core_power(2.8e9, 0.0)
+        busy = model.core_power(2.8e9, 1.0)
+        assert 0 < idle < busy
+        # Idle fraction: stalled cores still burn most of the power.
+        assert idle / busy == pytest.approx(
+            PowerModelConfig().core_idle_fraction, rel=1e-6
+        )
+
+    def test_traffic_scales_uncore_power(self, model):
+        quiet = model.uncore_power(2.4e9, 0.0)
+        loud = model.uncore_power(2.4e9, 1.0)
+        assert 0 < quiet < loud
+
+    def test_uncore_range_spans_significant_power(self, model):
+        # The EP headline: dropping uncore 2.4 -> 1.2 must free roughly
+        # 15-25 W (the paper's ~24 % savings are uncore-dominated).
+        saving = model.uncore_power(2.4e9, 0.0) - model.uncore_power(1.2e9, 0.0)
+        assert 12.0 < saving < 30.0
+
+    def test_package_breakdown_sums(self, model):
+        b = model.package_power(2.8e9, 2.4e9, 1.0, 0.5)
+        assert b.total_w == pytest.approx(b.static_w + b.core_w + b.uncore_w)
+
+    def test_calibration_memory_bound_near_budget(self, model):
+        # CG-like: stalled-but-clocking cores + saturated uncore should
+        # sit near (but under) the 125 W budget.
+        b = model.package_power(2.8e9, 2.4e9, 0.45, 1.0)
+        assert 110.0 < b.total_w < 125.5
+
+    def test_core_boost_scales_core_only(self, model):
+        plain = model.package_power(2.8e9, 2.4e9, 1.0, 0.0)
+        boosted = model.package_power(2.8e9, 2.4e9, 1.0, 0.0, core_boost=1.5)
+        assert boosted.core_w == pytest.approx(1.5 * plain.core_w)
+        assert boosted.uncore_w == plain.uncore_w
+
+    def test_activity_bounds_checked(self, model):
+        with pytest.raises(ValueError):
+            model.core_power(2.8e9, 1.5)
+        with pytest.raises(ValueError):
+            model.uncore_power(2.4e9, -0.1)
+
+    def test_bad_boost_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.package_power(2.8e9, 2.4e9, 1.0, 0.0, core_boost=0.0)
+
+
+class TestInversion:
+    def test_generous_budget_gives_max_freq(self, model):
+        f = model.max_core_freq_under(500.0, 2.4e9, 1.0, 1.0)
+        assert f == pytest.approx(2.8e9)
+
+    def test_tiny_budget_gives_min_freq(self, model):
+        f = model.max_core_freq_under(20.0, 2.4e9, 1.0, 1.0)
+        assert f == pytest.approx(1.0e9)
+
+    def test_inversion_consistent_with_forward(self, model):
+        budget = 100.0
+        f = model.max_core_freq_under(budget, 2.4e9, 0.8, 0.9)
+        total = model.package_power(2.8e9 if False else f, 2.4e9, 0.8, 0.9).total_w
+        assert total <= budget + 1e-9
+
+    def test_inversion_is_maximal(self, model):
+        budget = 100.0
+        f = model.max_core_freq_under(budget, 2.4e9, 0.8, 0.9)
+        if f < 2.8e9:
+            one_up = f + CoreConfig().step_hz
+            assert (
+                model.package_power(one_up, 2.4e9, 0.8, 0.9).total_w > budget
+            )
+
+    def test_inversion_monotone_in_budget(self, model):
+        freqs = [
+            model.max_core_freq_under(b, 2.4e9, 0.9, 0.9)
+            for b in (70.0, 90.0, 110.0, 130.0)
+        ]
+        assert freqs == sorted(freqs)
+
+    def test_lower_uncore_frees_core_budget(self, model):
+        f_hi = model.max_core_freq_under(95.0, 2.4e9, 1.0, 0.5)
+        f_lo = model.max_core_freq_under(95.0, 1.2e9, 1.0, 0.5)
+        assert f_lo >= f_hi
+
+    def test_boost_reduces_allowed_frequency(self, model):
+        f_plain = model.max_core_freq_under(110.0, 2.4e9, 1.0, 0.5)
+        f_boost = model.max_core_freq_under(110.0, 2.4e9, 1.0, 0.5, core_boost=1.5)
+        assert f_boost < f_plain

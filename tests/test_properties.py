@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.analysis.stats import keep_indices_drop_extremes, trimmed_mean_drop_extremes
+from repro.config import ControllerConfig, CoreConfig, yeti_socket_config
+from repro.core.detector import classify_oi
+from repro.core.tolerance import SlowdownTracker, ToleranceVerdict
+from repro.hardware.msr import (
+    decode_rapl_window,
+    encode_rapl_window,
+    get_bits,
+    set_bits,
+)
+from repro.hardware.power import PackagePowerModel
+from repro.hardware.rapl import RAPLDomain
+from repro.config import PowerModelConfig, UncoreConfig
+
+
+# ---------------------------------------------------------------------------
+# Bit-field codecs
+# ---------------------------------------------------------------------------
+
+
+@given(
+    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    lo=st.integers(min_value=0, max_value=60),
+    width=st.integers(min_value=1, max_value=16),
+)
+def test_set_then_get_roundtrips(value, lo, width):
+    hi = min(lo + width - 1, 63)
+    field = (1 << (hi - lo + 1)) - 1  # all-ones field
+    out = set_bits(value, hi, lo, field)
+    assert get_bits(out, hi, lo) == field
+    # Bits outside the field are untouched.
+    mask = ((1 << (hi - lo + 1)) - 1) << lo
+    assert out & ~mask == value & ~mask & ((1 << 64) - 1)
+
+
+@given(seconds=st.floats(min_value=1e-3, max_value=40.0))
+def test_rapl_window_codec_relative_error_bounded(seconds):
+    unit = 2.0**-10
+    field = encode_rapl_window(seconds, unit)
+    decoded = decode_rapl_window(field, unit)
+    # The (Y, Z) format has ~12 % max quantisation error inside its
+    # range; clamp behaviour at the bottom end is absolute.
+    assert decoded <= 2**31 * 1.75 * unit
+    if seconds >= unit:
+        assert abs(decoded - seconds) / seconds < 0.15
+
+
+# ---------------------------------------------------------------------------
+# Energy counters
+# ---------------------------------------------------------------------------
+
+
+@given(
+    increments=st.lists(
+        st.floats(min_value=0.0, max_value=5e4), min_size=1, max_size=30
+    )
+)
+def test_energy_counter_wrap_reconstruction(increments):
+    d = RAPLDomain("pkg", 2.0**-14)
+    total_reconstructed = 0.0
+    prev = d.counter
+    for inc in increments:
+        d.accumulate(inc)
+        cur = d.counter
+        total_reconstructed += d.energy_between(prev, cur)
+        prev = cur
+    # Each increment stays below the wrap range (~262 kJ), so the
+    # wrap-corrected deltas reconstruct the true total to counter
+    # resolution.
+    assert total_reconstructed == units.clamp(
+        total_reconstructed,
+        d.total_energy_j - len(increments) * d.energy_unit_j * 2,
+        d.total_energy_j + len(increments) * d.energy_unit_j * 2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Power model
+# ---------------------------------------------------------------------------
+
+
+def _model():
+    return PackagePowerModel(CoreConfig(), UncoreConfig(), PowerModelConfig())
+
+
+@given(
+    f=st.floats(min_value=1.0e9, max_value=2.8e9),
+    act=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_core_power_monotone_in_activity(f, act):
+    m = _model()
+    assert m.core_power(f, act) <= m.core_power(f, 1.0) + 1e-12
+
+
+@given(
+    budget=st.floats(min_value=30.0, max_value=200.0),
+    fu=st.floats(min_value=1.2e9, max_value=2.4e9),
+    act=st.floats(min_value=0.0, max_value=1.0),
+    traffic=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_rapl_inversion_never_exceeds_budget_above_floor(budget, fu, act, traffic):
+    m = _model()
+    f = m.max_core_freq_under(budget, fu, act, traffic)
+    core_cfg = CoreConfig()
+    assert core_cfg.min_freq_hz <= f <= core_cfg.max_freq_hz
+    if f > core_cfg.min_freq_hz:
+        # Above the floor the choice must actually fit the budget.
+        assert m.package_power(f, fu, act, traffic).total_w <= budget + 1e-9
+
+
+@given(
+    b1=st.floats(min_value=40.0, max_value=150.0),
+    b2=st.floats(min_value=40.0, max_value=150.0),
+)
+@settings(max_examples=40)
+def test_rapl_inversion_monotone(b1, b2):
+    m = _model()
+    lo, hi = sorted((b1, b2))
+    f_lo = m.max_core_freq_under(lo, 2.4e9, 0.9, 0.9)
+    f_hi = m.max_core_freq_under(hi, 2.4e9, 0.9, 0.9)
+    assert f_lo <= f_hi
+
+
+# ---------------------------------------------------------------------------
+# smooth_max
+# ---------------------------------------------------------------------------
+
+
+@given(
+    a=st.floats(min_value=0.0, max_value=1e6),
+    b=st.floats(min_value=0.0, max_value=1e6),
+)
+def test_smooth_max_bounds(a, b):
+    s = units.smooth_max(a, b)
+    assert max(a, b) <= s + 1e-9
+    assert s <= a + b + 1e-9
+
+
+@given(
+    a=st.floats(min_value=1e-3, max_value=1e6),
+    b=st.floats(min_value=1e-3, max_value=1e6),
+    k=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_smooth_max_homogeneous(a, b, k):
+    assert units.smooth_max(k * a, k * b) == units.clamp(
+        units.smooth_max(k * a, k * b),
+        k * units.smooth_max(a, b) * (1 - 1e-9),
+        k * units.smooth_max(a, b) * (1 + 1e-9),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tolerance trackers
+# ---------------------------------------------------------------------------
+
+
+@given(
+    tol=st.floats(min_value=0.0, max_value=0.5),
+    maximum=st.floats(min_value=1.0, max_value=1e12),
+    value=st.floats(min_value=0.0, max_value=1e12),
+)
+def test_tracker_verdicts_are_ordered(tol, maximum, value):
+    t = SlowdownTracker(tolerated_slowdown=tol, measurement_error=0.01)
+    t.observe(maximum)
+    verdict = t.judge(value)
+    if value >= maximum:
+        assert verdict is ToleranceVerdict.WITHIN
+    if value < maximum * (1 - tol - 0.05):
+        assert verdict is ToleranceVerdict.BELOW
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1))
+def test_tracker_max_is_running_max(values):
+    t = SlowdownTracker(tolerated_slowdown=0.1, measurement_error=0.01)
+    for v in values:
+        t.observe(v)
+    assert t.phase_max == max(values)
+
+
+# ---------------------------------------------------------------------------
+# OI classification
+# ---------------------------------------------------------------------------
+
+
+@given(oi=st.floats(min_value=0.0, max_value=1e6))
+def test_oi_classification_total_and_consistent(oi):
+    cfg = ControllerConfig()
+    c = classify_oi(oi, cfg)
+    assert c.is_memory == (oi < cfg.oi_memory_boundary)
+
+
+# ---------------------------------------------------------------------------
+# Trimmed statistics
+# ---------------------------------------------------------------------------
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=30
+    )
+)
+def test_trim_drops_exactly_two(values):
+    keep = keep_indices_drop_extremes(values)
+    assert len(keep) == len(values) - 2
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=30
+    )
+)
+def test_trimmed_mean_within_minmax(values):
+    mean = trimmed_mean_drop_extremes(values)
+    assert min(values) - 1e-6 <= mean <= max(values) + 1e-6
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=3, max_size=20),
+    outlier=st.floats(min_value=1e8, max_value=1e12),
+)
+def test_trimmed_mean_ignores_single_high_outlier(values, outlier):
+    base = trimmed_mean_drop_extremes(sorted(values))
+    with_outlier = trimmed_mean_drop_extremes(sorted(values)[:-1] + [outlier])
+    assert with_outlier < outlier
+
+
+# ---------------------------------------------------------------------------
+# Voltage curve
+# ---------------------------------------------------------------------------
+
+
+@given(f=st.floats(min_value=0.5e9, max_value=4.0e9))
+def test_voltage_curve_bounded(f):
+    cfg = yeti_socket_config().core
+    v = cfg.voltage_at(f)
+    assert cfg.v_min <= v <= cfg.v_max

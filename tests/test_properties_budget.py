@@ -1,0 +1,82 @@
+"""Property-based tests on the budget allocator and GPU model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budget import allocate_budget
+from repro.hardware.gpu import GPUConfig, GPUKernel, SimulatedGPU
+
+
+demands = st.lists(
+    st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=8
+)
+
+
+@given(d=demands, extra=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=100)
+def test_allocation_never_exceeds_budget(d, extra):
+    total = 65.0 * len(d) + extra
+    alloc = allocate_budget(d, total, 65.0, 125.0)
+    assert sum(alloc) <= total + 1e-6
+
+
+@given(d=demands, extra=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=100)
+def test_allocation_bounds(d, extra):
+    total = 65.0 * len(d) + extra
+    alloc = allocate_budget(d, total, 65.0, 125.0)
+    assert all(65.0 - 1e-9 <= a <= 125.0 + 1e-9 for a in alloc)
+
+
+@given(d=demands)
+@settings(max_examples=100)
+def test_generous_budget_serves_all_demand(d):
+    total = sum(min(max(x, 65.0), 125.0) for x in d) + 10.0
+    alloc = allocate_budget(d, total, 65.0, 125.0)
+    for want, got in zip(d, alloc):
+        assert got >= min(max(want, 65.0), 125.0) - 1e-6
+
+
+@given(
+    d=st.lists(st.floats(min_value=70.0, max_value=120.0), min_size=2, max_size=6),
+    bump=st.floats(min_value=5.0, max_value=50.0),
+    idx=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=100)
+def test_raising_one_demand_never_lowers_own_share(d, bump, idx):
+    idx = idx % len(d)
+    total = 65.0 * len(d) + 60.0
+    before = allocate_budget(d, total, 65.0, 125.0)
+    d2 = list(d)
+    d2[idx] = min(d2[idx] + bump, 500.0)
+    after = allocate_budget(d2, total, 65.0, 125.0)
+    assert after[idx] >= before[idx] - 1e-6
+
+
+@given(
+    limit=st.floats(min_value=100.0, max_value=300.0),
+    flops=st.floats(min_value=1e11, max_value=2e13),
+    ratio=st.floats(min_value=4.0, max_value=64.0),
+)
+@settings(max_examples=60)
+def test_gpu_power_respects_limit(limit, flops, ratio):
+    gpu = SimulatedGPU()
+    gpu.set_power_limit(limit)
+    gpu.step(0.01, GPUKernel("k", flops=flops, bytes=flops / ratio))
+    cfg = GPUConfig()
+    # The device throttles to its lowest clock if it must; only at the
+    # clock floor may power exceed the limit (like RAPL at deep caps).
+    if gpu.state.freq_hz > cfg.min_freq_hz:
+        assert gpu.state.power_w <= limit + 1e-9
+
+
+@given(
+    flops=st.floats(min_value=1e11, max_value=2e13),
+    ratio=st.floats(min_value=4.0, max_value=64.0),
+)
+@settings(max_examples=60)
+def test_gpu_kernel_time_monotone_in_clock(flops, ratio):
+    gpu = SimulatedGPU()
+    kernel = GPUKernel("k", flops=flops, bytes=flops / ratio)
+    t_fast = gpu.kernel_time(kernel, 1.38e9)
+    t_slow = gpu.kernel_time(kernel, 0.8e9)
+    assert t_slow >= t_fast - 1e-12

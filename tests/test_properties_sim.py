@@ -1,0 +1,147 @@
+"""Property-based tests on the simulator and controllers end-to-end.
+
+Slower than the unit properties: each example simulates a short random
+application, so example counts are kept small.
+"""
+
+from hypothesis import assume, given, settings, strategies as st, HealthCheck
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.duf import DUF
+from repro.core.dufp import DUFP
+from repro.sim.run import run_application
+from repro.workloads.generator import random_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def short_app(seed):
+    return random_application(seed, max_phases=5, max_duration_s=0.8)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_default_run_completes_all_work(seed):
+    app = short_app(seed)
+    result = run_application(app, DefaultController, noise=QUIET, seed=seed)
+    assert result.execution_time_s > 0
+    # Work conservation: the default run is never faster than the
+    # nominal duration (default clocks ARE the nominal clocks).
+    assert result.execution_time_s >= app.nominal_duration() * 0.98
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_pl1_average_respected_under_dufp(seed):
+    app = short_app(seed)
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    result = run_application(
+        app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+    sock = result.socket(0)
+    # Whole-run average power can never exceed the default PL1 by more
+    # than the burst allowance (PL2 headroom on transients).
+    assert sock.avg_package_power_w <= 150.0 + 1e-6
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_dufp_never_uses_more_power_than_default(seed):
+    app = short_app(seed)
+    # Sub-interval runs end before the controller ever ticks; there the
+    # attach-time uncore pin (max) can out-draw the default governor's
+    # lazy ramp-up.  The property is about *controlled* runs.
+    assume(app.nominal_duration() >= 3 * ControllerConfig().interval_s)
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    default = run_application(app, DefaultController, noise=QUIET, seed=seed)
+    dufp = run_application(
+        app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=seed
+    )
+    # A capping controller may only reduce average power (small slack
+    # for the uncore pin vs the default governor's resting point).
+    assert dufp.avg_package_power_w <= default.avg_package_power_w * 1.03
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_duf_uncore_stays_on_grid(seed):
+    app = short_app(seed)
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    controllers = []
+
+    def factory():
+        c = DUF(cfg)
+        controllers.append(c)
+        return c
+
+    run_application(app, factory, controller_cfg=cfg, noise=QUIET, seed=seed)
+    for tick in controllers[0].ticks:
+        ratio = tick.uncore_hz / 1e8
+        assert abs(ratio - round(ratio)) < 1e-6
+        assert 1.2e9 - 1 <= tick.uncore_hz <= 2.4e9 + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_dufp_cap_stays_in_bounds(seed):
+    app = short_app(seed)
+    cfg = ControllerConfig(tolerated_slowdown=0.20)
+    controllers = []
+
+    def factory():
+        c = DUFP(cfg)
+        controllers.append(c)
+        return c
+
+    run_application(app, factory, controller_cfg=cfg, noise=QUIET, seed=seed)
+    for tick in controllers[0].ticks:
+        assert 65.0 - 1e-9 <= tick.cap_w <= 125.0 + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=3_000),
+    tol=st.sampled_from([0.05, 0.10, 0.20]),
+)
+@SLOW
+def test_larger_tolerance_never_raises_power_much(seed, tol):
+    # Savings should be (weakly) monotone in the tolerance; allow slack
+    # for controller hysteresis on adversarial phase patterns.
+    app = short_app(seed)
+    cfg_lo = ControllerConfig(tolerated_slowdown=0.0)
+    cfg_hi = ControllerConfig(tolerated_slowdown=tol)
+    lo = run_application(
+        app, lambda: DUFP(cfg_lo), controller_cfg=cfg_lo, noise=QUIET, seed=seed
+    )
+    hi = run_application(
+        app, lambda: DUFP(cfg_hi), controller_cfg=cfg_hi, noise=QUIET, seed=seed
+    )
+    assert hi.avg_package_power_w <= lo.avg_package_power_w * 1.08
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_trace_time_is_monotone(seed):
+    app = short_app(seed)
+    result = run_application(app, DefaultController, noise=QUIET, seed=seed)
+    times = [s.time_s for s in result.socket(0).trace]
+    assert times == sorted(times)
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_energy_is_positive_and_consistent(seed):
+    app = short_app(seed)
+    result = run_application(app, DefaultController, noise=QUIET, seed=seed)
+    sock = result.socket(0)
+    assert sock.package_energy_j > 0
+    assert sock.dram_energy_j > 0
+    avg = sock.package_energy_j / sock.finish_time_s
+    assert 15.0 < avg < 150.0

@@ -1,0 +1,59 @@
+"""The reproduction scorecard."""
+
+import pytest
+
+from repro.config import NoiseConfig
+from repro.experiments.scorecard import ClaimResult, Scorecard, run_scorecard
+from repro.experiments.sweep import run_sweep
+
+
+QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
+
+
+@pytest.fixture(scope="module")
+def card():
+    sweep = run_sweep(runs=2, noise=QUIET)
+    return run_scorecard(sweep=sweep, include_figures=False)
+
+
+class TestScorecardStructure:
+    def test_has_sweep_claims(self, card):
+        ids = {c.claim_id for c in card.claims}
+        for expected in (
+            "3a.respected",
+            "3b.all-apps-save",
+            "3b.ep-heavy",
+            "3b.cg20-gap",
+            "3c.no-loss-le10",
+            "4.cg20-dram",
+        ):
+            assert expected in ids
+
+    def test_claim_lookup(self, card):
+        c = card.claim("3a.respected")
+        assert isinstance(c, ClaimResult)
+        assert "/40" in c.measured
+
+    def test_unknown_claim_raises(self, card):
+        with pytest.raises(KeyError):
+            card.claim("nope")
+
+    def test_counts(self, card):
+        assert 0 < card.passed <= card.total
+
+    def test_render_contains_verdicts(self, card):
+        out = card.render()
+        assert "PASS" in out
+        assert f"{card.passed}/{card.total}" in out
+
+
+class TestScorecardVerdicts:
+    def test_all_sweep_claims_pass(self, card):
+        failing = [c.claim_id for c in card.claims if not c.passed]
+        assert not failing, f"claims failing: {failing}"
+
+    def test_scorecard_object_api(self):
+        card = Scorecard(
+            claims=[ClaimResult("x", "paper", "measured", True)]
+        )
+        assert card.passed == card.total == 1

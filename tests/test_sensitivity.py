@@ -1,0 +1,68 @@
+"""Calibration sensitivity analysis."""
+
+import pytest
+
+from repro.config import NoiseConfig
+from repro.errors import ExperimentError
+from repro.experiments.sensitivity import (
+    PARAMETERS,
+    SensitivityPoint,
+    run_sensitivity,
+)
+
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A reduced probe: two load-bearing parameters at +/- 20 %.
+    return run_sensitivity(
+        parameters=["k_uncore", "core_idle_fraction"], noise=QUIET
+    )
+
+
+class TestHarness:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sensitivity(parameters=["warp_drive"])
+
+    def test_parameter_factories_validate(self):
+        from repro.config import yeti_socket_config
+
+        base = yeti_socket_config()
+        for name, fn in PARAMETERS.items():
+            for f in (0.8, 1.2):
+                fn(base, f).validate()
+
+    def test_baseline_present(self, result):
+        assert result.baseline.parameter == "baseline"
+        assert result.baseline.factor == 1.0
+
+    def test_two_points_per_parameter(self, result):
+        assert len(result.for_parameter("k_uncore")) == 2
+
+    def test_missing_parameter_lookup(self, result):
+        with pytest.raises(ExperimentError):
+            result.for_parameter("static_w")
+
+    def test_render(self, result):
+        out = result.render()
+        assert "k_uncore" in out
+        assert "x0.80" in out and "x1.20" in out
+
+
+class TestShapes:
+    def test_baseline_holds(self, result):
+        assert result.baseline.holds
+
+    def test_probed_parameters_hold(self, result):
+        # These two constants are robust at +/- 20 % (EXPERIMENTS.md).
+        for p in result.points:
+            assert p.holds, f"{p.parameter} x{p.factor} broke the shape"
+
+    def test_holds_criteria(self):
+        good = SensitivityPoint("x", 1.0, 8.0, 15.0, 16.0)
+        assert good.holds
+        assert not SensitivityPoint("x", 1.0, 20.0, 15.0, 16.0).holds
+        assert not SensitivityPoint("x", 1.0, 8.0, 0.5, 16.0).holds

@@ -1,0 +1,33 @@
+"""Named application suites."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.catalog import application_names
+from repro.workloads.suites import SUITES, suite, suite_names
+
+
+class TestSuites:
+    def test_paper_suite_is_complete(self):
+        assert suite("paper") == application_names()
+
+    def test_quick_suite(self):
+        assert suite("quick") == ("CG", "EP")
+
+    def test_case_insensitive(self):
+        assert suite("PAPER") == suite("paper")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            suite("everything")
+
+    def test_all_members_exist_in_catalog(self):
+        names = set(application_names())
+        for members in SUITES.values():
+            assert set(members) <= names
+
+    def test_suite_names(self):
+        assert set(suite_names()) == set(SUITES)
+
+    def test_violators_match_paper_section_va(self):
+        assert set(suite("violators")) == {"UA", "LAMMPS", "CG"}

@@ -1,0 +1,80 @@
+"""Machine topology: yeti layout, round-robin numbering, lookups."""
+
+import pytest
+
+from repro.config import yeti_machine_config
+from repro.errors import ConfigurationError
+from repro.hardware.topology import build_machine
+
+
+@pytest.fixture
+def machine():
+    return build_machine()
+
+
+class TestYetiLayout:
+    def test_four_sockets(self, machine):
+        assert machine.socket_count == 4
+
+    def test_sixteen_cores_per_socket(self, machine):
+        assert all(s.core_count == 16 for s in machine.sockets)
+
+    def test_sixty_four_cores_total(self, machine):
+        assert machine.total_cores == 64
+
+    def test_numa_node_per_socket(self, machine):
+        for s in machine.sockets:
+            assert s.numa.socket_id == s.socket_id
+            assert s.numa.memory_bytes == 64 * 1024**3
+
+
+class TestRoundRobinNumbering:
+    def test_cpu0_on_socket0(self, machine):
+        assert machine.core_by_cpu_id(0).socket_id == 0
+
+    def test_cpu1_on_socket1(self, machine):
+        # OpenMP threads bound round-robin: consecutive CPUs alternate
+        # sockets, as on the real yeti node.
+        assert machine.core_by_cpu_id(1).socket_id == 1
+
+    def test_cpu_ids_unique_and_dense(self, machine):
+        ids = sorted(c.cpu_id for c in machine.all_cores())
+        assert ids == list(range(64))
+
+    def test_local_ids_dense_within_socket(self, machine):
+        for s in machine.sockets:
+            assert sorted(c.local_id for c in s.cores) == list(range(16))
+
+
+class TestLookups:
+    def test_socket_lookup(self, machine):
+        assert machine.socket(2).socket_id == 2
+
+    def test_bad_socket_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.socket(7)
+
+    def test_core_lookup(self, machine):
+        core = machine.socket(1).core(3)
+        assert core.local_id == 3
+
+    def test_bad_core_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.socket(0).core(16)
+
+    def test_bad_cpu_id_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.core_by_cpu_id(99)
+
+
+class TestDescribe:
+    def test_table1_fields(self, machine):
+        d = machine.describe()
+        assert d["cores"] == 64
+        assert d["uncore_freq_ghz"] == (1.2, 2.4)
+        assert d["long_term_w"] == 125.0
+        assert d["short_term_w"] == 150.0
+
+    def test_custom_socket_count(self):
+        m = build_machine(yeti_machine_config(socket_count=2))
+        assert m.total_cores == 32

@@ -1,0 +1,120 @@
+"""Counter-trace recording and replay."""
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.errors import WorkloadError
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+from repro.workloads.traces import (
+    TraceSample,
+    application_from_trace,
+    measurements_from_run,
+)
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def cg_run():
+    return run_application(
+        build_application("CG", scale=0.5), DefaultController, noise=QUIET, seed=3
+    )
+
+
+class TestTraceSamples:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceSample(dt_s=0.0, flops_per_s=1.0, bytes_per_s=1.0)
+        with pytest.raises(WorkloadError):
+            TraceSample(dt_s=0.1, flops_per_s=-1.0, bytes_per_s=1.0)
+
+    def test_extraction_cadence(self, cg_run):
+        samples = measurements_from_run(cg_run, interval_s=0.2)
+        assert len(samples) >= 10
+        # All full samples carry the controller cadence.
+        for s in samples[:-1]:
+            assert s.dt_s == pytest.approx(0.2, rel=0.05)
+
+    def test_extraction_totals_match(self, cg_run):
+        samples = measurements_from_run(cg_run)
+        traced_flops = sum(s.flops_per_s * s.dt_s for s in samples)
+        sock = cg_run.socket(0)
+        engine_flops = sum(
+            t.flops_rate * (t.time_s - p)
+            for p, t in zip([0.0] + [x.time_s for x in sock.trace[:-1]], sock.trace)
+        )
+        assert traced_flops == pytest.approx(engine_flops, rel=0.02)
+
+    def test_traceless_run_rejected(self):
+        run = run_application(
+            build_application("EP", scale=0.1),
+            DefaultController,
+            noise=QUIET,
+            record_trace=False,
+        )
+        with pytest.raises(WorkloadError):
+            measurements_from_run(run)
+
+
+class TestReplay:
+    def test_replay_duration_matches_original(self, cg_run):
+        samples = measurements_from_run(cg_run)
+        replay = application_from_trace(samples, name="cg-replay")
+        assert replay.nominal_duration() == pytest.approx(
+            cg_run.execution_time_s, rel=0.25
+        )
+
+    def test_replay_merges_similar_samples(self, cg_run):
+        samples = measurements_from_run(cg_run)
+        replay = application_from_trace(samples)
+        assert len(replay.phases) < len(samples)
+
+    def test_replay_preserves_volumes(self, cg_run):
+        samples = measurements_from_run(cg_run)
+        replay = application_from_trace(samples)
+        traced_flops = sum(s.flops_per_s * s.dt_s for s in samples)
+        assert replay.total_flops == pytest.approx(traced_flops, rel=0.01)
+
+    def test_replay_is_runnable(self, cg_run):
+        samples = measurements_from_run(cg_run)
+        replay = application_from_trace(samples, name="cg-replay")
+        result = run_application(replay, DefaultController, noise=QUIET, seed=4)
+        assert result.execution_time_s == pytest.approx(
+            cg_run.execution_time_s, rel=0.3
+        )
+
+    def test_replay_controllable(self, cg_run):
+        # The replayed workload responds to DUFP like the original:
+        # power drops, runtime within tolerance.
+        samples = measurements_from_run(cg_run)
+        replay = application_from_trace(samples, name="cg-replay")
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        default = run_application(replay, DefaultController, noise=QUIET, seed=4)
+        dufp = run_application(
+            replay, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=4
+        )
+        assert dufp.avg_package_power_w < default.avg_package_power_w
+        assert dufp.execution_time_s < default.execution_time_s * 1.15
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            application_from_trace([])
+
+    def test_workless_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            application_from_trace(
+                [TraceSample(dt_s=0.2, flops_per_s=0.0, bytes_per_s=0.0)]
+            )
+
+    def test_synthetic_compute_trace(self):
+        samples = [
+            TraceSample(dt_s=0.2, flops_per_s=100e9, bytes_per_s=1e9)
+            for _ in range(10)
+        ]
+        app = application_from_trace(samples, name="synth")
+        assert len(app.phases) == 1  # merged
+        assert app.nominal_duration() == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,78 @@
+"""turbostat-style trace reporting."""
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.baselines import DefaultController
+from repro.core.dufp import DUFP
+from repro.errors import SimulationError
+from repro.interfaces.turbostat import turbostat_report, turbostat_rows
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def sock():
+    run = run_application(
+        build_application("CG", scale=0.3), DefaultController, noise=QUIET, seed=2
+    )
+    return run.socket(0)
+
+
+class TestRows:
+    def test_interval_cadence(self, sock):
+        rows = turbostat_rows(sock, interval_s=1.0)
+        assert len(rows) >= 7
+        assert rows[0].time_s == pytest.approx(1.0, abs=0.02)
+        assert rows[1].time_s == pytest.approx(2.0, abs=0.02)
+
+    def test_default_run_values(self, sock):
+        rows = turbostat_rows(sock, interval_s=1.0)
+        mid = rows[len(rows) // 2]
+        assert mid.avg_ghz == pytest.approx(2.8, abs=0.05)
+        assert 2.0 < mid.uncore_ghz <= 2.4 + 1e-9
+        assert 60.0 < mid.pkg_watt < 130.0
+        assert mid.cap_watt == pytest.approx(125.0)
+
+    def test_power_consistent_with_energy(self, sock):
+        rows = turbostat_rows(sock, interval_s=1.0)
+        approx_energy = sum(r.pkg_watt for r in rows[:-1])  # ~1 s each
+        assert approx_energy == pytest.approx(sock.package_energy_j, rel=0.1)
+
+    def test_cap_column_tracks_controller(self):
+        cfg = ControllerConfig(tolerated_slowdown=0.10)
+        run = run_application(
+            build_application("CG", scale=0.3),
+            lambda: DUFP(cfg),
+            controller_cfg=cfg,
+            noise=QUIET,
+            seed=2,
+        )
+        rows = turbostat_rows(run.socket(0), interval_s=1.0)
+        caps = {r.cap_watt for r in rows}
+        assert len(caps) > 1  # the dynamic cap moved
+
+    def test_bad_interval_rejected(self, sock):
+        with pytest.raises(SimulationError):
+            turbostat_rows(sock, interval_s=0.0)
+
+    def test_traceless_rejected(self):
+        run = run_application(
+            build_application("EP", scale=0.1),
+            DefaultController,
+            noise=QUIET,
+            record_trace=False,
+        )
+        with pytest.raises(SimulationError):
+            turbostat_rows(run.socket(0))
+
+
+class TestReport:
+    def test_render(self, sock):
+        out = turbostat_report(sock, interval_s=2.0)
+        assert "Avg_GHz" in out and "PkgWatt" in out
+        assert "turbostat (socket 0" in out
+        assert len(out.splitlines()) >= 5

@@ -1,0 +1,126 @@
+"""Uncore clock domain: window control, HW governor, MSR 0x620."""
+
+import pytest
+
+from repro.config import UncoreConfig
+from repro.errors import FrequencyError
+from repro.hardware.msr import MSR, MSRFile, get_bits, set_bits
+from repro.hardware.uncore import DefaultUncoreGovernor, UncoreDriver
+
+
+@pytest.fixture
+def driver():
+    return UncoreDriver(UncoreConfig())
+
+
+class TestWindowControl:
+    def test_starts_at_full_window(self, driver):
+        assert driver.window_lo_hz == pytest.approx(1.2e9)
+        assert driver.window_hi_hz == pytest.approx(2.4e9)
+        assert not driver.pinned
+
+    def test_pin(self, driver):
+        driver.pin(1.8e9)
+        assert driver.pinned
+        assert driver.frequency_hz == pytest.approx(1.8e9)
+
+    def test_pin_snaps_to_grid(self, driver):
+        driver.pin(1.84e9)
+        assert driver.frequency_hz == pytest.approx(1.8e9)
+
+    def test_pin_clamps_to_range(self, driver):
+        driver.pin(0.5e9)
+        assert driver.frequency_hz == pytest.approx(1.2e9)
+        driver.pin(9e9)
+        assert driver.frequency_hz == pytest.approx(2.4e9)
+
+    def test_release_reopens_window(self, driver):
+        driver.pin(1.5e9)
+        driver.release()
+        assert not driver.pinned
+
+    def test_inverted_window_rejected(self, driver):
+        with pytest.raises(FrequencyError):
+            driver.set_window(2.0e9, 1.5e9)
+
+    def test_available_frequencies(self, driver):
+        freqs = driver.available_frequencies()
+        assert len(freqs) == 13  # 1.2 .. 2.4 in 100 MHz steps
+        assert freqs[0] == pytest.approx(1.2e9)
+        assert freqs[-1] == pytest.approx(2.4e9)
+
+
+class TestDefaultGovernor:
+    def test_busy_socket_rides_high(self, driver):
+        # Compute-only work: no traffic, but busy cores.
+        for _ in range(30):
+            driver.advance(traffic_util=0.0, busy_util=1.0)
+        assert driver.frequency_hz >= 2.2e9
+
+    def test_idle_socket_drops_low(self, driver):
+        for _ in range(30):
+            driver.advance(traffic_util=0.0, busy_util=0.0)
+        assert driver.frequency_hz == pytest.approx(1.2e9)
+
+    def test_traffic_rides_high(self, driver):
+        for _ in range(30):
+            driver.advance(traffic_util=0.9, busy_util=0.0)
+        assert driver.frequency_hz >= 2.2e9
+
+    def test_pinned_ignores_governor(self, driver):
+        driver.pin(1.3e9)
+        driver.advance(traffic_util=1.0, busy_util=1.0)
+        assert driver.frequency_hz == pytest.approx(1.3e9)
+
+    def test_governor_respects_window(self, driver):
+        driver.set_window(1.2e9, 1.8e9)
+        for _ in range(30):
+            driver.advance(traffic_util=1.0, busy_util=1.0)
+        assert driver.frequency_hz <= 1.8e9
+
+    def test_bad_util_rejected(self):
+        gov = DefaultUncoreGovernor()
+        with pytest.raises(FrequencyError):
+            gov.target_freq(1.5, 0.0, 1.2e9, 2.4e9)
+        with pytest.raises(FrequencyError):
+            gov.target_freq(0.0, -0.1, 1.2e9, 2.4e9)
+
+    def test_response_is_gradual(self, driver):
+        driver.advance(traffic_util=1.0, busy_util=1.0)
+        first = driver.frequency_hz
+        for _ in range(20):
+            driver.advance(traffic_util=1.0, busy_util=1.0)
+        # The governor lags: the first step should not jump to max...
+        assert first <= driver.frequency_hz
+
+
+class TestMSRWiring:
+    @pytest.fixture
+    def wired(self, driver):
+        msrs = MSRFile()
+        driver.attach_msrs(msrs)
+        return driver, msrs
+
+    def test_initial_register_encodes_full_window(self, wired):
+        _, msrs = wired
+        v = msrs.read(MSR.MSR_UNCORE_RATIO_LIMIT)
+        assert get_bits(v, 6, 0) == 24  # max ratio 2.4 GHz
+        assert get_bits(v, 14, 8) == 12  # min ratio 1.2 GHz
+
+    def test_write_pins_uncore(self, wired):
+        driver, msrs = wired
+        v = set_bits(set_bits(0, 6, 0, 18), 14, 8, 18)
+        msrs.write(MSR.MSR_UNCORE_RATIO_LIMIT, v)
+        assert driver.pinned
+        assert driver.frequency_hz == pytest.approx(1.8e9)
+
+    def test_zero_max_ratio_faults(self, wired):
+        _, msrs = wired
+        with pytest.raises(FrequencyError):
+            msrs.write(MSR.MSR_UNCORE_RATIO_LIMIT, 0)
+
+    def test_perf_status_reflects_frequency(self, wired):
+        driver, msrs = wired
+        driver.pin(2.0e9)
+        status = msrs.read(MSR.MSR_UNCORE_PERF_STATUS)
+        assert get_bits(status, 6, 0) == 20

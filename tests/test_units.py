@@ -1,0 +1,170 @@
+"""Unit helpers: conversions, ratios, smooth_max."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestFrequencyConversions:
+    def test_ghz(self):
+        assert units.ghz(2.4) == 2.4e9
+
+    def test_mhz(self):
+        assert units.mhz(100) == 1e8
+
+    def test_khz(self):
+        assert units.khz(5) == 5e3
+
+    def test_to_ghz_roundtrip(self):
+        assert units.to_ghz(units.ghz(1.7)) == pytest.approx(1.7)
+
+
+class TestBandwidthAndFlops:
+    def test_gb_per_s_roundtrip(self):
+        assert units.to_gb_per_s(units.gb_per_s(105.0)) == pytest.approx(105.0)
+
+    def test_gflops_roundtrip(self):
+        assert units.to_gflops(units.gflops(896.0)) == pytest.approx(896.0)
+
+
+class TestTimeConversions:
+    def test_ms(self):
+        assert units.ms(200) == pytest.approx(0.2)
+
+    def test_us(self):
+        assert units.us(976) == pytest.approx(976e-6)
+
+    def test_seconds_to_us_is_integral(self):
+        assert units.seconds_to_us(0.01) == 10_000
+
+    def test_us_to_seconds(self):
+        assert units.us_to_seconds(10_000) == pytest.approx(0.01)
+
+
+class TestPowercapUnits:
+    def test_watts_to_uw(self):
+        assert units.watts_to_uw(125.0) == 125_000_000
+
+    def test_uw_to_watts(self):
+        assert units.uw_to_watts(65_000_000) == pytest.approx(65.0)
+
+    def test_watts_uw_roundtrip(self):
+        assert units.uw_to_watts(units.watts_to_uw(99.5)) == pytest.approx(99.5)
+
+
+class TestRatios:
+    def test_percent(self):
+        assert units.percent(0.05) == pytest.approx(5.0)
+
+    def test_fraction(self):
+        assert units.fraction(20.0) == pytest.approx(0.2)
+
+    def test_ratio_over(self):
+        assert units.ratio_over(110.0, 125.0) == pytest.approx(0.88)
+
+    def test_ratio_over_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            units.ratio_over(1.0, 0.0)
+
+    def test_percent_change_slowdown(self):
+        assert units.percent_change(112.0, 100.0) == pytest.approx(12.0)
+
+    def test_percent_change_speedup_is_negative(self):
+        assert units.percent_change(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_percent_savings(self):
+        assert units.percent_savings(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_percent_savings_loss_is_negative(self):
+        assert units.percent_savings(110.0, 100.0) < 0
+
+
+class TestClamp:
+    def test_inside(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert units.clamp(-1.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert units.clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            units.clamp(5.0, 10.0, 0.0)
+
+
+class TestSnapToStep:
+    def test_exact_multiple(self):
+        assert units.snap_to_step(2.4e9, 1e8) == pytest.approx(2.4e9)
+
+    def test_rounds_to_nearest(self):
+        assert units.snap_to_step(2.34e9, 1e8) == pytest.approx(2.3e9)
+
+    def test_with_base(self):
+        assert units.snap_to_step(67.0, 5.0, base=125.0) == pytest.approx(65.0)
+
+    def test_non_positive_step_raises(self):
+        with pytest.raises(ValueError):
+            units.snap_to_step(1.0, 0.0)
+
+
+class TestSmoothMax:
+    def test_upper_bound_is_sum_like(self):
+        # p-norm lies between max and sum.
+        a, b = 3.0, 4.0
+        s = units.smooth_max(a, b)
+        assert max(a, b) <= s <= a + b
+
+    def test_dominant_term_wins(self):
+        assert units.smooth_max(10.0, 0.1) == pytest.approx(10.0, rel=1e-6)
+
+    def test_symmetry(self):
+        assert units.smooth_max(2.0, 5.0) == units.smooth_max(5.0, 2.0)
+
+    def test_zero_both(self):
+        assert units.smooth_max(0.0, 0.0) == 0.0
+
+    def test_zero_one_side(self):
+        assert units.smooth_max(0.0, 7.0) == pytest.approx(7.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.smooth_max(-1.0, 1.0)
+
+    def test_sharpness_controls_overlap(self):
+        soft = units.smooth_max(1.0, 1.0, sharpness=2.0)
+        sharp = units.smooth_max(1.0, 1.0, sharpness=20.0)
+        assert soft > sharp > 1.0
+
+    def test_scale_invariance(self):
+        assert units.smooth_max(2e9, 3e9) == pytest.approx(
+            1e9 * units.smooth_max(2.0, 3.0)
+        )
+
+
+class TestTimeWeightedMean:
+    def test_uniform_weights(self):
+        assert units.time_weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weighted(self):
+        assert units.time_weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            units.time_weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_duration(self):
+        with pytest.raises(ValueError):
+            units.time_weighted_mean([1.0], [0.0])
+
+    def test_fsum_precision(self):
+        values = [0.1] * 1000
+        durations = [1.0] * 1000
+        assert units.time_weighted_mean(values, durations) == pytest.approx(0.1)
+
+    def test_nan_free_for_floats(self):
+        out = units.time_weighted_mean([1e300, 1e300], [1.0, 1.0])
+        assert math.isfinite(out)
