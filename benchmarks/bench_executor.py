@@ -1,0 +1,64 @@
+"""Executor benchmarks: parallel speedup and warm-cache latency.
+
+Times the same reduced sweep grid three ways — serial, process-pool
+parallel, and warm-cache — so the scaling the executor exists for is
+measured, not assumed.  Asserts the two invariants the layer
+guarantees: parallel results are bit-identical to serial, and a warm
+rerun executes zero protocol cells.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config import NoiseConfig
+from repro.experiments.sweep import run_sweep
+
+from conftest import BENCH_RUNS, assert_shape
+
+QUIET = NoiseConfig(duration_jitter=0.001, counter_noise=0.001, power_noise=0.001)
+
+#: A grid big enough to amortise pool start-up, small enough for CI.
+GRID = dict(
+    apps=("CG", "EP", "FT"),
+    tolerances_pct=(0.0, 10.0),
+    runs=min(BENCH_RUNS, 5),
+    noise=QUIET,
+)
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or (os.cpu_count() or 2)
+
+
+def test_sweep_serial(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sweep(**GRID, workers=1), rounds=1, iterations=1
+    )
+    assert_shape(
+        result.execution.executed == result.execution.total,
+        "serial sweep executes every cell",
+    )
+
+
+def test_sweep_parallel_matches_serial(benchmark):
+    serial = run_sweep(**GRID, workers=1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(**GRID, workers=WORKERS), rounds=1, iterations=1
+    )
+    assert_shape(
+        parallel.comparisons == serial.comparisons,
+        "parallel sweep is bit-identical to serial",
+    )
+
+
+def test_sweep_warm_cache(benchmark, tmp_path):
+    run_sweep(**GRID, cache=str(tmp_path))  # cold fill
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(**GRID, workers=WORKERS, cache=str(tmp_path)),
+        rounds=1,
+        iterations=1,
+    )
+    assert_shape(
+        warm.execution.executed == 0 and warm.execution.hits == warm.execution.total,
+        "warm-cache rerun serves every cell from the cache",
+    )

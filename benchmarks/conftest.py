@@ -6,7 +6,10 @@ and the per-figure benchmarks time their projection over it while
 asserting the paper's shape claims.
 
 ``REPRO_BENCH_RUNS`` overrides the runs-per-configuration (default 10,
-the paper's protocol; set 2–3 for a quick pass).
+the paper's protocol; set 2–3 for a quick pass).  ``REPRO_BENCH_WORKERS``
+fans the sweep grid over that many processes, and ``REPRO_BENCH_CACHE``
+names a content-addressed result-cache directory so repeated benchmark
+sessions skip already-computed cells (see repro.experiments.executor).
 """
 
 from __future__ import annotations
@@ -20,11 +23,17 @@ from repro.experiments.sweep import run_sweep
 #: Runs per configuration for every benchmark in the suite.
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
 
+#: Process-pool width for the sweep fixture (1 = classic serial path).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+#: Optional result-cache directory shared across benchmark sessions.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
 
 @pytest.fixture(scope="session")
 def sweep():
     """The full evaluation sweep (all apps, all tolerances)."""
-    return run_sweep(runs=BENCH_RUNS)
+    return run_sweep(runs=BENCH_RUNS, workers=BENCH_WORKERS, cache=BENCH_CACHE)
 
 
 def assert_shape(condition: bool, claim: str) -> None:

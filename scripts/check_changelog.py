@@ -1,0 +1,51 @@
+"""CI gate: every change set must append a line to CHANGES.md.
+
+CHANGES.md is the repo's session journal — one line per PR describing
+what changed, so the next contributor (or CI archaeologist) does not
+need to replay git history.  This script fails when the diff against
+the given base ref adds no lines to it.
+
+Usage: python scripts/check_changelog.py [base-ref]   (default origin/main)
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def added_changelog_lines(base: str) -> int:
+    """Lines added to CHANGES.md between ``base`` and HEAD."""
+    out = subprocess.run(
+        ["git", "diff", "--numstat", f"{base}...HEAD", "--", "CHANGES.md"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=REPO,
+    ).stdout.strip()
+    if not out:
+        return 0
+    added = out.split()[0]
+    return 0 if added == "-" else int(added)
+
+
+def main(argv: list[str]) -> int:
+    """Exit 0 when CHANGES.md gained at least one line, 1 otherwise."""
+    base = argv[0] if argv else "origin/main"
+    added = added_changelog_lines(base)
+    if added < 1:
+        print(
+            f"CHANGES.md gained no lines relative to {base}: append one "
+            "line describing this change set.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"CHANGES.md: +{added} line(s) relative to {base}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

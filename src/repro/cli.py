@@ -4,8 +4,14 @@ Examples::
 
     python -m repro table1
     python -m repro fig3b --runs 3
+    python -m repro sweep --workers 8 --cache .repro-cache
     python -m repro run CG --controller dufp --slowdown 10
     python -m repro list
+
+Any sweep-backed experiment accepts ``--workers N`` (process-pool
+fan-out over grid cells; results are identical at any worker count)
+and ``--cache DIR`` (content-addressed result cache: warm reruns and
+interrupted sweeps skip already-computed cells).
 """
 
 from __future__ import annotations
@@ -51,6 +57,45 @@ def build_parser() -> argparse.ArgumentParser:
             default=10,
             help="runs per configuration (paper protocol: 10)",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="processes to fan protocol runs over (default: serial)",
+        )
+        p.add_argument(
+            "--cache",
+            metavar="DIR",
+            default=None,
+            help="content-addressed result cache directory",
+        )
+        if exp_id == "sweep":
+            p.add_argument(
+                "--apps",
+                nargs="*",
+                default=None,
+                metavar="APP",
+                help="restrict the grid to these applications",
+            )
+            p.add_argument(
+                "--tolerances",
+                nargs="*",
+                type=float,
+                default=None,
+                metavar="PCT",
+                help="tolerated-slowdown grid, percent (paper: 0 5 10 20)",
+            )
+            p.add_argument(
+                "--scale",
+                type=float,
+                default=1.0,
+                help="application problem-size scale (CI smoke: 0.3)",
+            )
+            p.add_argument(
+                "--per-cell",
+                action="store_true",
+                help="print the per-cell timing/cache table",
+            )
 
     p_list = sub.add_parser("list", help="list applications and experiments")
 
@@ -59,6 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_export.add_argument("--out", default="results", help="output directory")
     p_export.add_argument("--runs", type=int, default=10)
+    p_export.add_argument("--workers", type=int, default=1)
+    p_export.add_argument("--cache", metavar="DIR", default=None)
 
     p_hetero = sub.add_parser(
         "hetero", help="CPU+GPU shared-budget demo (paper §VII future work)"
@@ -132,6 +179,26 @@ def _run_single(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_sweep(args: argparse.Namespace) -> str:
+    from .experiments.sweep import SWEEP_TOLERANCES_PCT, run_sweep
+
+    sweep = run_sweep(
+        apps=args.apps,
+        tolerances_pct=args.tolerances or SWEEP_TOLERANCES_PCT,
+        runs=args.runs,
+        app_scale=args.scale,
+        workers=args.workers,
+        cache=args.cache,
+    )
+    within, total = sweep.respected_count("dufp")
+    lines = [
+        sweep.render(),
+        f"dufp tolerance respected in {within}/{total} configurations",
+        sweep.execution.render(per_cell=args.per_cell),
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -148,12 +215,26 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "export":
             from .experiments.export_all import export_all
 
-            manifest = export_all(args.out, runs=args.runs)
+            manifest = export_all(
+                args.out,
+                runs=args.runs,
+                workers=args.workers,
+                cache=args.cache,
+            )
             print(f"wrote {len(manifest.files)} files to {manifest.out_dir}/")
         elif args.command == "hetero":
             print(_run_hetero(args))
+        elif args.command == "sweep":
+            print(_run_sweep(args))
         else:
-            print(run_experiment(args.command, runs=args.runs))
+            print(
+                run_experiment(
+                    args.command,
+                    runs=args.runs,
+                    workers=args.workers,
+                    cache=args.cache,
+                )
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

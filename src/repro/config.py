@@ -18,6 +18,10 @@ Calibration anchors (paper, Section IV/V):
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import math
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigurationError
@@ -37,6 +41,8 @@ __all__ = [
     "EngineConfig",
     "yeti_socket_config",
     "yeti_machine_config",
+    "canonical_value",
+    "config_digest",
 ]
 
 
@@ -409,3 +415,45 @@ def yeti_machine_config(socket_count: int = 4) -> MachineConfig:
 def with_slowdown(cfg: ControllerConfig, slowdown_pct: float) -> ControllerConfig:
     """Copy ``cfg`` with the tolerated slowdown set from a percentage."""
     return replace(cfg, tolerated_slowdown=slowdown_pct / 100.0)
+
+
+def canonical_value(value):
+    """Reduce ``value`` to a JSON-serialisable canonical form.
+
+    Dataclasses become ``{"__class__": name, fields...}`` so two config
+    types with coincidentally equal fields hash differently; non-finite
+    floats (``CoreConfig.avx_license_fpc`` defaults to ``inf``) become
+    tagged strings, since JSON has no representation for them.  The
+    result is stable across processes and interpreter runs — unlike
+    ``hash()``, which Python salts per process.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"__class__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = canonical_value(getattr(value, f.name))
+        return out
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return f"__float__:{value!r}"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot canonicalise {type(value).__name__!r} for hashing"
+    )
+
+
+def config_digest(*values) -> str:
+    """Stable SHA-256 hex digest of any nest of config dataclasses.
+
+    The content-address under the experiment result cache: equal configs
+    produce equal digests, any field change produces a new one.
+    """
+    payload = json.dumps(
+        [canonical_value(v) for v in values],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -7,10 +7,24 @@ with min/max error bars.
 
 The registry maps experiment ids (``table1``, ``fig1a`` … ``fig5``) to
 runnable harnesses; ``python -m repro <id>`` regenerates any of them.
+
+Independent protocol runs execute through :mod:`repro.experiments.
+executor` — a process-pool fan-out with deterministic per-cell seeds —
+over the content-addressed result cache in :mod:`repro.experiments.
+cache`; ``--workers``/``--cache`` on any experiment reach them.
 """
 
 from .protocol import ProtocolResult, Comparison, run_protocol, compare
-from .sweep import SweepResult, run_sweep, SWEEP_TOLERANCES_PCT
+from .executor import (
+    RunSpec,
+    ExecutionSummary,
+    cell_seed,
+    spec_key,
+    execute_spec,
+    run_specs,
+)
+from .cache import ResultCache, CacheStats
+from .sweep import SweepResult, run_sweep, sweep_specs, SWEEP_TOLERANCES_PCT
 from .table1 import table1
 from .fig1 import fig1a, fig1b, fig1c
 from .fig3 import fig3a, fig3b, fig3c
@@ -24,8 +38,17 @@ __all__ = [
     "Comparison",
     "run_protocol",
     "compare",
+    "RunSpec",
+    "ExecutionSummary",
+    "cell_seed",
+    "spec_key",
+    "execute_spec",
+    "run_specs",
+    "ResultCache",
+    "CacheStats",
     "SweepResult",
     "run_sweep",
+    "sweep_specs",
     "SWEEP_TOLERANCES_PCT",
     "table1",
     "fig1a",

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk cache for protocol results.
+
+A protocol run is a pure function of its :class:`~repro.experiments.
+executor.RunSpec` — the application, controller, every config dataclass
+and the seeds.  The cache therefore keys each
+:class:`~repro.experiments.protocol.ProtocolResult` by a SHA-256 digest
+of the spec's canonical form (see :func:`repro.config.config_digest`)
+plus the package version and an on-disk schema tag, so results are
+invalidated automatically whenever any config field *or* the code
+version changes.
+
+Entries are pickles written atomically (temp file + rename), laid out
+``<root>/<k[:2]>/<k[2:]>.pkl`` to keep directories small.  A corrupted
+or unreadable entry is treated as a miss, deleted, and recomputed —
+interrupting a sweep mid-write can never poison later runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+__all__ = ["CACHE_SCHEMA", "CacheStats", "ResultCache"]
+
+#: Bump when the pickled payload layout changes; part of every key.
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime (drives the run summaries)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupted: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store mapping spec digests to pickled results."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ExperimentError(
+                f"cache path {self.root} exists and is not a directory"
+            ) from exc
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ExperimentError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key[2:]}.pkl"
+
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated write, stale schema, unpicklable garbage: drop
+            # the entry and recompute rather than fail the sweep.
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -1,0 +1,293 @@
+"""Parallel experiment execution with content-addressed caching.
+
+Every independent protocol run — one ``(application, controller,
+config)`` cell of a sweep, one sensitivity probe — is described by a
+:class:`RunSpec`: a frozen, picklable value object carrying everything
+the run depends on.  :func:`run_specs` fans a batch of specs out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` keeps
+the classic in-process serial path) and consults an optional
+:class:`~repro.experiments.cache.ResultCache` first, so warm reruns
+execute nothing at all.
+
+Determinism: a spec fully determines its seeds (``noise.seed + 1009·r
++ base_seed``), and :func:`cell_seed` derives ``base_seed`` from the
+cell's *identity* rather than its position in the submission order.
+Serial and parallel executions of the same grid are therefore
+bit-identical, and so are cold and warm (cached) reruns.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..analysis.tables import format_table
+from ..config import (
+    ControllerConfig,
+    EngineConfig,
+    NoiseConfig,
+    SocketConfig,
+    config_digest,
+)
+from ..core.baselines import DefaultController, StaticPowerCap
+from ..core.duf import DUF
+from ..core.dufp import DUFP
+from ..core.extensions import DUFPF
+from ..errors import ExperimentError
+from .cache import CACHE_SCHEMA, ResultCache
+from .protocol import ProtocolResult, run_protocol
+
+__all__ = [
+    "CONTROLLER_IDS",
+    "RunSpec",
+    "CellReport",
+    "ExecutionSummary",
+    "cell_seed",
+    "spec_key",
+    "execute_spec",
+    "run_specs",
+]
+
+#: Controller ids a spec may name (string-keyed so specs stay picklable).
+CONTROLLER_IDS: tuple[str, ...] = ("default", "duf", "dufp", "dufpf", "static")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One protocol run, fully described by picklable values.
+
+    Controllers are named by id, not held as objects, so a spec can
+    cross a process boundary and be hashed for the result cache.
+    ``label`` is display-only and excluded from the cache key.
+    """
+
+    app_name: str
+    controller: str
+    controller_cfg: ControllerConfig = field(default_factory=ControllerConfig)
+    runs: int = 10
+    base_seed: int = 0
+    app_scale: float = 1.0
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    engine_cfg: EngineConfig = field(default_factory=EngineConfig)
+    socket: SocketConfig | None = None
+    socket_count: int = 1
+    record_trace: bool = False
+    static_cap_w: float = 110.0
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.controller not in CONTROLLER_IDS:
+            raise ExperimentError(
+                f"unknown controller {self.controller!r}; "
+                f"available: {', '.join(CONTROLLER_IDS)}"
+            )
+        if self.runs < 1:
+            raise ExperimentError("RunSpec.runs must be at least 1")
+
+    @property
+    def display(self) -> str:
+        return self.label or f"{self.app_name}/{self.controller}"
+
+
+def cell_seed(*parts) -> int:
+    """Deterministic seed offset derived from a cell's identity.
+
+    CRC32 of the joined parts: stable across processes and sessions
+    (unlike ``hash``), independent of submission order, and distinct
+    per cell so sweep cells do not share noise streams.
+    """
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The content address of ``spec``'s result.
+
+    Covers every config dataclass in the spec plus the package version
+    and cache schema, so editing any constant or upgrading the code
+    invalidates old entries.
+    """
+    from .. import __version__
+
+    return config_digest(
+        {"version": __version__, "schema": CACHE_SCHEMA},
+        replace(spec, label=""),
+    )
+
+
+def _controller_factory(spec: RunSpec):
+    cfg = spec.controller_cfg
+    if spec.controller == "default":
+        return DefaultController
+    if spec.controller == "duf":
+        return lambda: DUF(cfg)
+    if spec.controller == "dufp":
+        return lambda: DUFP(cfg)
+    if spec.controller == "dufpf":
+        return lambda: DUFPF(cfg)
+    if spec.controller == "static":
+        return lambda: StaticPowerCap(spec.static_cap_w)
+    raise ExperimentError(f"unknown controller {spec.controller!r}")
+
+
+def execute_spec(spec: RunSpec) -> ProtocolResult:
+    """Run one spec to completion (in whichever process this is)."""
+    spec.validate()
+    from ..workloads.catalog import build_application
+
+    app = build_application(
+        spec.app_name, scale=spec.app_scale, socket=spec.socket
+    )
+    return run_protocol(
+        app,
+        _controller_factory(spec),
+        controller_cfg=spec.controller_cfg,
+        runs=spec.runs,
+        base_seed=spec.base_seed,
+        noise=spec.noise,
+        engine_cfg=spec.engine_cfg,
+        socket_count=spec.socket_count,
+        record_trace=spec.record_trace,
+        socket=spec.socket,
+    )
+
+
+def _execute_timed(spec: RunSpec) -> tuple[ProtocolResult, float]:
+    """Pool target: the result plus its execution time in seconds."""
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """How one spec was satisfied: executed or served from cache."""
+
+    label: str
+    cached: bool
+    seconds: float
+
+
+@dataclass
+class ExecutionSummary:
+    """Timing and cache accounting for one batch of specs."""
+
+    workers: int = 1
+    wall_s: float = 0.0
+    cells: list[CellReport] = field(default_factory=list)
+    corrupted: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def executed(self) -> int:
+        return self.total - self.hits
+
+    @property
+    def executed_cpu_s(self) -> float:
+        return sum(c.seconds for c in self.cells if not c.cached)
+
+    def merge(self, other: "ExecutionSummary") -> None:
+        """Fold a later batch (e.g. a second sweep stage) into this one."""
+        self.cells.extend(other.cells)
+        self.wall_s += other.wall_s
+        self.corrupted += other.corrupted
+
+    def render(self, *, per_cell: bool = False) -> str:
+        """Human-readable account; ``per_cell`` adds the full table."""
+        lines = [
+            f"executed {self.executed} of {self.total} cells "
+            f"({self.executed_cpu_s:.2f} s cpu) on {self.workers} "
+            f"worker{'s' if self.workers != 1 else ''}, "
+            f"{self.hits} cache hit{'s' if self.hits != 1 else ''}, "
+            f"wall {self.wall_s:.2f} s"
+        ]
+        if self.corrupted:
+            lines.append(f"recovered {self.corrupted} corrupted cache entries")
+        if self.executed:
+            slow = max(
+                (c for c in self.cells if not c.cached), key=lambda c: c.seconds
+            )
+            lines.append(f"slowest cell: {slow.label} ({slow.seconds:.2f} s)")
+        if per_cell and self.cells:
+            rows = [
+                (c.label, "hit" if c.cached else "run", f"{c.seconds:.3f}")
+                for c in self.cells
+            ]
+            lines.append(
+                format_table(
+                    ["cell", "source", "seconds"], rows, title="Per-cell timing"
+                )
+            )
+        return "\n".join(lines)
+
+
+def _as_cache(cache) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
+) -> tuple[list[ProtocolResult], ExecutionSummary]:
+    """Execute a batch of specs, results in spec order.
+
+    ``workers=1`` runs in-process (the classic serial path); more fans
+    the cache misses out over a process pool.  ``cache`` may be a
+    :class:`ResultCache` or a directory path; hits skip execution
+    entirely and the summary says which cells came from where.
+    """
+    if workers < 1:
+        raise ExperimentError("need at least one worker")
+    for spec in specs:
+        spec.validate()
+    cache = _as_cache(cache)
+    start = time.perf_counter()
+    results: list[ProtocolResult | None] = [None] * len(specs)
+    reports: list[CellReport | None] = [None] * len(specs)
+
+    pending: list[int] = []
+    corrupt_before = cache.stats.corrupted if cache is not None else 0
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec_key(spec)) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            reports[i] = CellReport(spec.display, cached=True, seconds=0.0)
+        else:
+            pending.append(i)
+
+    if workers == 1 or len(pending) <= 1:
+        timed = (_execute_timed(specs[i]) for i in pending)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        with pool:
+            timed = list(pool.map(_execute_timed, [specs[i] for i in pending]))
+
+    for i, (result, seconds) in zip(pending, timed):
+        results[i] = result
+        reports[i] = CellReport(specs[i].display, cached=False, seconds=seconds)
+        if cache is not None:
+            cache.put(spec_key(specs[i]), result)
+
+    summary = ExecutionSummary(
+        workers=workers,
+        wall_s=time.perf_counter() - start,
+        cells=[r for r in reports if r is not None],
+        corrupted=(cache.stats.corrupted - corrupt_before)
+        if cache is not None
+        else 0,
+    )
+    return [r for r in results if r is not None], summary

@@ -14,9 +14,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..analysis.stats import ErrorBar, error_bar, keep_indices_drop_extremes
-from ..config import ControllerConfig, EngineConfig, NoiseConfig
+from ..config import (
+    ControllerConfig,
+    EngineConfig,
+    MachineConfig,
+    NoiseConfig,
+    SocketConfig,
+)
 from ..core.base import Controller
 from ..errors import ExperimentError
+from ..sim.machine import SimulatedMachine
 from ..sim.result import RunResult
 from ..sim.run import run_application
 from ..workloads.application import Application
@@ -77,8 +84,13 @@ def run_protocol(
     engine_cfg: EngineConfig | None = None,
     socket_count: int = 1,
     record_trace: bool = False,
+    socket: SocketConfig | None = None,
 ) -> ProtocolResult:
-    """Execute ``runs`` seeded repetitions of one configuration."""
+    """Execute ``runs`` seeded repetitions of one configuration.
+
+    ``socket`` overrides the default yeti-2 socket model (a fresh
+    machine is built from it for every run — machines are stateful).
+    """
     if runs < 1:
         raise ExperimentError("need at least one run")
     noise = noise or NoiseConfig()
@@ -87,10 +99,16 @@ def run_protocol(
         controller_name=controller_factory().name,
     )
     for r in range(runs):
+        machine = None
+        if socket is not None:
+            machine = SimulatedMachine(
+                MachineConfig(socket=socket, socket_count=socket_count)
+            )
         run = run_application(
             application,
             controller_factory,
             controller_cfg=controller_cfg,
+            machine=machine,
             noise=noise,
             engine_cfg=engine_cfg,
             socket_count=socket_count,

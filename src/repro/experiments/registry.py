@@ -1,4 +1,10 @@
-"""Experiment registry: id → harness, shared by the CLI and benches."""
+"""Experiment registry: id → harness, shared by the CLI and benches.
+
+Every runner accepts ``workers``/``cache`` and routes any sweep it
+needs through :mod:`repro.experiments.executor`, so ``python -m repro
+fig3a --workers 8 --cache DIR`` parallelises and memoises exactly like
+``repro sweep`` does.
+"""
 
 from __future__ import annotations
 
@@ -29,8 +35,11 @@ def _render_fig1(fn) -> Callable[..., str]:
 
 
 def _render_fig3(fn) -> Callable[..., str]:
-    def runner(runs: int = 10, sweep=None, **kwargs) -> str:
-        return fn(sweep=sweep, runs=runs).render()
+    def runner(
+        runs: int = 10, sweep=None, workers: int = 1, cache=None, **kwargs
+    ) -> str:
+        sweep = sweep or run_sweep(runs=runs, workers=workers, cache=cache)
+        return fn(sweep=sweep).render()
 
     return runner
 
@@ -39,9 +48,11 @@ def _render_fig5(**kwargs) -> str:
     return fig5().render()
 
 
-def _render_all(runs: int = 10, **kwargs) -> str:
+def _render_all(
+    runs: int = 10, workers: int = 1, cache=None, **kwargs
+) -> str:
     """Every table and figure, sharing one evaluation sweep."""
-    sweep = run_sweep(runs=runs)
+    sweep = run_sweep(runs=runs, workers=workers, cache=cache)
     parts = [
         table1().render(),
         fig1a(runs=runs).render(),
@@ -53,21 +64,39 @@ def _render_all(runs: int = 10, **kwargs) -> str:
         fig4(sweep=sweep).render(),
         fig5().render(),
     ]
+    if sweep.execution is not None:
+        parts.append(sweep.execution.render())
     return "\n\n".join(parts)
 
 
-def _render_scorecard(runs: int = 10, sweep=None, **kwargs) -> str:
+def _render_scorecard(
+    runs: int = 10, sweep=None, workers: int = 1, cache=None, **kwargs
+) -> str:
+    sweep = sweep or run_sweep(runs=runs, workers=workers, cache=cache)
     return run_scorecard(sweep=sweep, runs=runs).render()
 
 
-def _render_sensitivity(**kwargs) -> str:
-    return run_sensitivity().render()
+def _render_sensitivity(workers: int = 1, cache=None, **kwargs) -> str:
+    return run_sensitivity(workers=workers, cache=cache).render()
+
+
+def _render_sweep(
+    runs: int = 10, workers: int = 1, cache=None, **kwargs
+) -> str:
+    sweep = run_sweep(runs=runs, workers=workers, cache=cache)
+    parts = [sweep.render()]
+    within, total = sweep.respected_count("dufp")
+    parts.append(f"dufp tolerance respected in {within}/{total} configurations")
+    if sweep.execution is not None:
+        parts.append(sweep.execution.render())
+    return "\n".join(parts)
 
 
 EXPERIMENTS: dict[str, Callable[..., str]] = {
     "table1": _render_table1,
     "scorecard": _render_scorecard,
     "sensitivity": _render_sensitivity,
+    "sweep": _render_sweep,
     "fig1a": _render_fig1(fig1a),
     "fig1b": _render_fig1(fig1b),
     "fig1c": _render_fig1(fig1c),

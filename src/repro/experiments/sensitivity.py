@@ -16,17 +16,13 @@ from typing import Callable
 from ..analysis.tables import format_table
 from ..config import (
     ControllerConfig,
-    MachineConfig,
     NoiseConfig,
     SocketConfig,
     yeti_socket_config,
 )
-from ..core.baselines import DefaultController
-from ..core.dufp import DUFP
 from ..errors import ExperimentError
-from ..sim.machine import SimulatedMachine
-from ..sim.run import run_application
-from ..workloads.catalog import build_application
+from .cache import ResultCache
+from .executor import RunSpec, run_specs
 
 __all__ = ["SensitivityPoint", "SensitivityResult", "run_sensitivity", "PARAMETERS"]
 
@@ -128,37 +124,42 @@ class SensitivityResult:
         )
 
 
-def _probe(socket: SocketConfig, noise: NoiseConfig, seed: int) -> tuple[float, float, float]:
+def _probe_specs(
+    socket: SocketConfig, noise: NoiseConfig, seed: int, tag: str
+) -> list[RunSpec]:
+    """Four single-run specs (CG/EP × default/DUFP) at one socket config.
+
+    ``base_seed`` compensates ``run_protocol``'s ``noise.seed`` offset
+    so the single run executes at exactly the absolute ``seed`` the
+    probe has always used.
+    """
     cfg = ControllerConfig(tolerated_slowdown=0.10)
-    machine_cfg = MachineConfig(socket=socket, socket_count=1)
-    results = {}
-    for app_name in ("CG", "EP"):
-        app = build_application(app_name, socket=socket)
-        default = run_application(
-            app,
-            DefaultController,
+    return [
+        RunSpec(
+            app_name=app_name,
+            controller=ctrl,
             controller_cfg=cfg,
-            machine=SimulatedMachine(machine_cfg),
+            runs=1,
+            base_seed=seed - noise.seed,
             noise=noise,
-            seed=seed,
-            record_trace=False,
+            socket=socket,
+            label=f"{tag}:{app_name}/{ctrl}",
         )
-        dufp = run_application(
-            app,
-            lambda: DUFP(cfg),
-            controller_cfg=cfg,
-            machine=SimulatedMachine(machine_cfg),
-            noise=noise,
-            seed=seed,
-            record_trace=False,
-        )
-        results[app_name] = (
-            100.0 * (dufp.execution_time_s / default.execution_time_s - 1.0),
-            100.0 * (1.0 - dufp.avg_package_power_w / default.avg_package_power_w),
-        )
-    cg_slow, cg_save = results["CG"]
-    _, ep_save = results["EP"]
-    return cg_slow, cg_save, ep_save
+        for app_name in ("CG", "EP")
+        for ctrl in ("default", "dufp")
+    ]
+
+
+def _probe_point(results) -> tuple[float, float, float]:
+    """(CG slowdown %, CG savings %, EP savings %) from four results."""
+    cg_default, cg_dufp, ep_default, ep_dufp = results
+    return (
+        100.0 * (cg_dufp.mean_time_s / cg_default.mean_time_s - 1.0),
+        100.0
+        * (1.0 - cg_dufp.mean_package_power_w / cg_default.mean_package_power_w),
+        100.0
+        * (1.0 - ep_dufp.mean_package_power_w / ep_default.mean_package_power_w),
+    )
 
 
 def run_sensitivity(
@@ -166,8 +167,15 @@ def run_sensitivity(
     factors: tuple[float, ...] = (0.8, 1.2),
     noise: NoiseConfig | None = None,
     seed: int = 77,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
 ) -> SensitivityResult:
-    """Perturb each parameter and re-measure the probe."""
+    """Perturb each parameter and re-measure the probe.
+
+    All probes across all parameters and factors are independent, so
+    the whole analysis fans out over ``workers`` processes and reuses
+    ``cache`` exactly like the evaluation sweep does.
+    """
     names = parameters or list(PARAMETERS)
     for name in names:
         if name not in PARAMETERS:
@@ -178,16 +186,22 @@ def run_sensitivity(
         duration_jitter=0.001, counter_noise=0.001, power_noise=0.001
     )
     base_socket = yeti_socket_config()
-    cg_slow, cg_save, ep_save = _probe(base_socket, noise, seed)
-    result = SensitivityResult(
-        baseline=SensitivityPoint("baseline", 1.0, cg_slow, cg_save, ep_save)
-    )
-    for name in names:
-        for factor in factors:
-            socket = PARAMETERS[name](base_socket, factor)
-            socket.validate()
-            cg_slow, cg_save, ep_save = _probe(socket, noise, seed)
-            result.points.append(
-                SensitivityPoint(name, factor, cg_slow, cg_save, ep_save)
-            )
-    return result
+    grid: list[tuple[str, float]] = [("baseline", 1.0)]
+    grid += [(name, factor) for name in names for factor in factors]
+
+    specs: list[RunSpec] = []
+    for name, factor in grid:
+        socket = (
+            base_socket
+            if name == "baseline"
+            else PARAMETERS[name](base_socket, factor)
+        )
+        socket.validate()
+        specs.extend(_probe_specs(socket, noise, seed, f"{name}x{factor:.2f}"))
+
+    results, _summary = run_specs(specs, workers=workers, cache=cache)
+    points = [
+        SensitivityPoint(name, factor, *_probe_point(results[4 * i : 4 * i + 4]))
+        for i, (name, factor) in enumerate(grid)
+    ]
+    return SensitivityResult(baseline=points[0], points=points[1:])

@@ -5,6 +5,13 @@ and DUFP at each tolerated slowdown (the paper uses 0, 5, 10 and 20 %),
 through the full measurement protocol.  Figures 3a/3b/3c and 4 are
 different projections of the same sweep, so the sweep result carries
 all four metrics and the figure modules only format them.
+
+Every cell of the grid — each ``(app, controller, tolerance)`` plus
+the per-app default baselines — is an independent :class:`~repro.
+experiments.executor.RunSpec`, so the grid fans out over ``workers``
+processes and deduplicates through an optional content-addressed
+``cache``; see :mod:`repro.experiments.executor`.  Cell seeds derive
+from cell identity, making serial and parallel sweeps bit-identical.
 """
 
 from __future__ import annotations
@@ -13,14 +20,14 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..config import ControllerConfig, EngineConfig, NoiseConfig, with_slowdown
-from ..core.baselines import DefaultController
-from ..core.duf import DUF
-from ..core.dufp import DUFP
+from ..analysis.tables import format_table
 from ..errors import ExperimentError
-from ..workloads.catalog import application_names, build_application
-from .protocol import Comparison, ProtocolResult, compare, run_protocol
+from ..workloads.catalog import application_names
+from .cache import ResultCache
+from .executor import ExecutionSummary, RunSpec, cell_seed, run_specs
+from .protocol import Comparison, ProtocolResult, compare
 
-__all__ = ["SweepResult", "run_sweep", "SWEEP_TOLERANCES_PCT"]
+__all__ = ["SweepResult", "run_sweep", "sweep_specs", "SWEEP_TOLERANCES_PCT"]
 
 #: The paper's tolerated-slowdown grid, percent.
 SWEEP_TOLERANCES_PCT: tuple[float, ...] = (0.0, 5.0, 10.0, 20.0)
@@ -38,6 +45,8 @@ class SweepResult:
     )
     #: app -> default-config protocol result (the denominators).
     defaults: dict[str, ProtocolResult] = field(default_factory=dict)
+    #: Timing/cache accounting of the execution that produced this sweep.
+    execution: ExecutionSummary | None = None
 
     def get(self, app: str, controller: str, tolerance_pct: float) -> Comparison:
         key = (app.upper(), controller, float(tolerance_pct))
@@ -66,6 +75,91 @@ class SweepResult:
                 within += 1
         return within, total
 
+    def render(self) -> str:
+        """Compact all-metric table, one row per grid cell."""
+        rows = [
+            (
+                app,
+                ctrl,
+                f"{tol:.0f}%",
+                cmp_.slowdown_pct.mean,
+                cmp_.package_savings_pct.mean,
+                cmp_.dram_savings_pct.mean,
+                cmp_.energy_savings_pct.mean,
+            )
+            for (app, ctrl, tol), cmp_ in sorted(self.comparisons.items())
+        ]
+        return format_table(
+            ["app", "ctrl", "tol", "slow %", "pkg save %", "dram save %", "energy save %"],
+            rows,
+            title="Evaluation sweep (means over kept runs)",
+        )
+
+
+def sweep_specs(
+    *,
+    apps: Iterable[str] | None = None,
+    tolerances_pct: Iterable[float] = SWEEP_TOLERANCES_PCT,
+    runs: int = 10,
+    controllers: Iterable[str] = ("duf", "dufp"),
+    base_cfg: ControllerConfig | None = None,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    app_scale: float = 1.0,
+) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
+    """The sweep grid as executable specs.
+
+    Returns ``(specs, cells)`` of equal length; a ``None`` cell marks
+    an app's default-configuration baseline, a tuple the comparison
+    cell it belongs to.  Exposed separately from :func:`run_sweep` so
+    callers can inspect, shard or pre-warm the grid.
+    """
+    app_list = tuple(a.upper() for a in (apps or application_names()))
+    tol_list = tuple(float(t) for t in tolerances_pct)
+    ctrl_list = tuple(controllers)
+    for c in ctrl_list:
+        if c not in ("duf", "dufp"):
+            raise ExperimentError(f"unknown sweep controller {c!r}")
+    base_cfg = base_cfg or ControllerConfig()
+    noise = noise or NoiseConfig()
+    engine_cfg = engine_cfg or EngineConfig()
+
+    specs: list[RunSpec] = []
+    cells: list[tuple[str, str, float] | None] = []
+    for app_name in app_list:
+        specs.append(
+            RunSpec(
+                app_name=app_name,
+                controller="default",
+                controller_cfg=base_cfg,
+                runs=runs,
+                base_seed=cell_seed(app_name, "default"),
+                app_scale=app_scale,
+                noise=noise,
+                engine_cfg=engine_cfg,
+                label=f"{app_name}/default",
+            )
+        )
+        cells.append(None)
+        for tol in tol_list:
+            cfg = with_slowdown(base_cfg, tol)
+            for ctrl_name in ctrl_list:
+                specs.append(
+                    RunSpec(
+                        app_name=app_name,
+                        controller=ctrl_name,
+                        controller_cfg=cfg,
+                        runs=runs,
+                        base_seed=cell_seed(app_name, ctrl_name, tol),
+                        app_scale=app_scale,
+                        noise=noise,
+                        engine_cfg=engine_cfg,
+                        label=f"{app_name}/{ctrl_name}@{tol:.0f}%",
+                    )
+                )
+                cells.append((app_name, ctrl_name, tol))
+    return specs, cells
+
 
 def run_sweep(
     *,
@@ -77,47 +171,40 @@ def run_sweep(
     noise: NoiseConfig | None = None,
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
 ) -> SweepResult:
     """Run the full evaluation grid.
 
     ``runs`` trades fidelity for time: the paper's protocol is 10; the
-    benchmarks default to fewer to stay interactive.
+    benchmarks default to fewer to stay interactive.  ``workers``
+    parallelises over grid cells (results are identical at any worker
+    count); ``cache`` — a directory or :class:`ResultCache` — skips
+    cells whose results are already on disk.
     """
+    specs, cells = sweep_specs(
+        apps=apps,
+        tolerances_pct=tolerances_pct,
+        runs=runs,
+        controllers=controllers,
+        base_cfg=base_cfg,
+        noise=noise,
+        engine_cfg=engine_cfg,
+        app_scale=app_scale,
+    )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
-    ctrl_list = tuple(controllers)
-    for c in ctrl_list:
-        if c not in ("duf", "dufp"):
-            raise ExperimentError(f"unknown sweep controller {c!r}")
-    base_cfg = base_cfg or ControllerConfig()
-    result = SweepResult(tolerances_pct=tol_list, apps=app_list)
+    results, summary = run_specs(specs, workers=workers, cache=cache)
 
-    for app_name in app_list:
-        app = build_application(app_name, scale=app_scale)
-        default = run_protocol(
-            app,
-            DefaultController,
-            controller_cfg=base_cfg,
-            runs=runs,
-            noise=noise,
-            engine_cfg=engine_cfg,
-        )
-        result.defaults[app_name] = default
-        for tol in tol_list:
-            cfg = with_slowdown(base_cfg, tol)
-            for ctrl_name in ctrl_list:
-                factory = (
-                    (lambda: DUF(cfg)) if ctrl_name == "duf" else (lambda: DUFP(cfg))
-                )
-                res = run_protocol(
-                    app,
-                    factory,
-                    controller_cfg=cfg,
-                    runs=runs,
-                    noise=noise,
-                    engine_cfg=engine_cfg,
-                )
-                result.comparisons[(app_name, ctrl_name, tol)] = compare(
-                    res, default
-                )
+    result = SweepResult(
+        tolerances_pct=tol_list, apps=app_list, execution=summary
+    )
+    for spec, cell, proto in zip(specs, cells, results):
+        if cell is None:
+            result.defaults[spec.app_name] = proto
+    for spec, cell, proto in zip(specs, cells, results):
+        if cell is not None:
+            result.comparisons[cell] = compare(
+                proto, result.defaults[spec.app_name]
+            )
     return result

@@ -27,6 +27,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "CG", "--controller", "magic"])
 
+    def test_workers_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["fig3a", "--workers", "4", "--cache", "/tmp/c"]
+        )
+        assert args.workers == 4
+        assert args.cache == "/tmp/c"
+
+    def test_sweep_grid_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--apps", "CG", "EP",
+                "--tolerances", "0", "10",
+                "--scale", "0.5",
+                "--workers", "2",
+            ]
+        )
+        assert args.apps == ["CG", "EP"]
+        assert args.tolerances == [0.0, 10.0]
+        assert args.scale == 0.5
+
 
 class TestMain:
     def test_no_command_prints_help(self, capsys):
@@ -61,6 +82,21 @@ class TestMain:
     def test_unknown_app_is_clean_error(self, capsys):
         assert main(["run", "NOPE"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_sweep_reduced_grid(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--apps", "EP",
+            "--tolerances", "0",
+            "--runs", "1",
+            "--scale", "0.2",
+            "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed 3 of 3" in out  # default + duf + dufp
+        assert main(argv) == 0  # warm rerun: everything cached
+        assert "executed 0 of 3" in capsys.readouterr().out
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -1,0 +1,198 @@
+"""Parallel executor and content-addressed result cache.
+
+The acceptance properties of the execution layer: parallel sweeps are
+bit-identical to serial ones, warm-cache reruns execute nothing, any
+config change invalidates the address, and corrupted entries recover
+by recomputation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import NoiseConfig, config_digest, yeti_socket_config
+from repro.errors import ExperimentError
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import (
+    RunSpec,
+    cell_seed,
+    execute_spec,
+    run_specs,
+    spec_key,
+)
+from repro.experiments.sweep import run_sweep, sweep_specs
+
+
+QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
+
+#: A grid small enough to execute many times in one test module.
+GRID = dict(
+    apps=["EP"], tolerances_pct=(0.0,), runs=2, app_scale=0.2, noise=QUIET
+)
+
+
+def small_spec(**overrides) -> RunSpec:
+    base = dict(
+        app_name="EP",
+        controller="duf",
+        runs=2,
+        app_scale=0.2,
+        noise=QUIET,
+        label="EP/duf",
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestSpecKey:
+    def test_stable_across_calls(self):
+        assert spec_key(small_spec()) == spec_key(small_spec())
+
+    def test_label_excluded(self):
+        assert spec_key(small_spec(label="a")) == spec_key(small_spec(label="b"))
+
+    def test_config_change_invalidates(self):
+        a = small_spec()
+        b = small_spec(
+            controller_cfg=replace(a.controller_cfg, cap_step_w=10.0)
+        )
+        assert spec_key(a) != spec_key(b)
+
+    def test_every_field_reaches_the_key(self):
+        a = small_spec()
+        variants = [
+            small_spec(app_name="CG"),
+            small_spec(controller="dufp"),
+            small_spec(runs=3),
+            small_spec(base_seed=1),
+            small_spec(app_scale=0.3),
+            small_spec(noise=replace(QUIET, seed=1)),
+            small_spec(socket=yeti_socket_config()),
+            small_spec(socket_count=2),
+            small_spec(record_trace=True),
+            small_spec(controller="static", static_cap_w=100.0),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(a) not in keys
+        assert len(keys) == len(variants)
+
+    def test_digest_rejects_unhashable(self):
+        with pytest.raises(Exception):
+            config_digest(object())
+
+    def test_cell_seed_deterministic_and_distinct(self):
+        assert cell_seed("CG", "duf", 10.0) == cell_seed("CG", "duf", 10.0)
+        assert cell_seed("CG", "duf", 10.0) != cell_seed("CG", "dufp", 10.0)
+        assert cell_seed("CG", "duf", 10.0) != cell_seed("CG", "duf", 20.0)
+
+
+class TestSpecValidation:
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ExperimentError):
+            small_spec(controller="magic").validate()
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            small_spec(runs=0).validate()
+
+    def test_run_specs_needs_a_worker(self):
+        with pytest.raises(ExperimentError):
+            run_specs([small_spec()], workers=0)
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = execute_spec(small_spec())
+        key = spec_key(small_spec())
+        cache.put(key, result)
+        got = cache.get(key)
+        assert got is not None
+        assert got.times_s == result.times_s
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec_key(small_spec())) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = spec_key(small_spec())
+        cache.put(key, execute_spec(small_spec()))
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.stats.corrupted == 1
+        assert not path.exists()  # removed, so the rerun can repopulate
+        results, summary = run_specs([small_spec()], cache=cache)
+        assert summary.executed == 1
+        assert cache.get(key) is not None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ResultCache(tmp_path).get("../escape")
+
+    def test_cache_path_must_be_a_directory(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(ExperimentError):
+            ResultCache(blocker)
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(spec_key(small_spec()), execute_spec(small_spec()))
+        assert len(cache) == 1
+
+
+class TestParallelEquality:
+    def test_parallel_equals_serial_sweep(self):
+        serial = run_sweep(**GRID, workers=1)
+        parallel = run_sweep(**GRID, workers=4)
+        # Exact Comparison equality: identical seeds, identical floats.
+        assert serial.comparisons == parallel.comparisons
+        for app in serial.defaults:
+            assert (
+                serial.defaults[app].times_s == parallel.defaults[app].times_s
+            )
+
+    def test_order_independent_seeds(self):
+        specs, _ = sweep_specs(**GRID)
+        forward, _ = run_specs(specs)
+        backward, _ = run_specs(list(reversed(specs)))
+        for f, b in zip(forward, reversed(backward)):
+            assert f.times_s == b.times_s
+
+
+class TestWarmCache:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        cold = run_sweep(**GRID, cache=str(tmp_path))
+        warm = run_sweep(**GRID, workers=2, cache=str(tmp_path))
+        assert cold.execution.executed == cold.execution.total > 0
+        assert warm.execution.executed == 0
+        assert warm.execution.hits == warm.execution.total
+        assert warm.comparisons == cold.comparisons
+
+    def test_config_change_misses(self, tmp_path):
+        run_sweep(**GRID, cache=str(tmp_path))
+        changed = dict(GRID, runs=3)
+        assert run_sweep(**changed, cache=str(tmp_path)).execution.hits == 0
+
+    def test_summary_renders(self, tmp_path):
+        sweep = run_sweep(**GRID, cache=str(tmp_path))
+        text = sweep.execution.render(per_cell=True)
+        assert "executed" in text and "EP/duf@0%" in text
+        warm = run_sweep(**GRID, cache=str(tmp_path))
+        assert "cache hits" in warm.execution.render()
+
+
+class TestInterruptedSweepResumes:
+    def test_partial_cache_completes_the_rest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs, _ = sweep_specs(**GRID)
+        # Simulate an interrupted sweep: only the first cell persisted.
+        cache.put(spec_key(specs[0]), execute_spec(specs[0]))
+        sweep = run_sweep(**GRID, cache=cache)
+        assert sweep.execution.hits == 1
+        assert sweep.execution.executed == len(specs) - 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ControllerConfig, NoiseConfig
+from repro.config import NoiseConfig
 from repro.core.baselines import DefaultController
 from repro.experiments.protocol import run_protocol
 from repro.workloads.catalog import build_application
