@@ -40,9 +40,15 @@ from .core import (
     DUFP,
     Controller,
     DefaultController,
+    PolicySpec,
     StaticPowerCap,
     StaticUncore,
     TimeWindowCap,
+    controller_factory,
+    make_spec,
+    parse_policy,
+    policy_names,
+    register_policy,
 )
 from .errors import ReproError
 from .sim import RunResult, SimulatedMachine, run_application, yeti_machine
@@ -68,6 +74,12 @@ __all__ = [
     "StaticPowerCap",
     "StaticUncore",
     "TimeWindowCap",
+    "PolicySpec",
+    "controller_factory",
+    "make_spec",
+    "parse_policy",
+    "policy_names",
+    "register_policy",
     "ReproError",
     "RunResult",
     "SimulatedMachine",

@@ -5,8 +5,14 @@ Examples::
     python -m repro table1
     python -m repro fig3b --runs 3
     python -m repro sweep --workers 8 --cache .repro-cache
+    python -m repro sweep --controller dnpc --controller budget:watts=95
     python -m repro run CG --controller dufp --slowdown 10
+    python -m repro policies
     python -m repro list
+
+Controllers are selected from the policy registry by id, optionally
+with parameters: ``--controller budget:watts=95,period_ticks=3``.
+``repro policies`` lists every registered policy with its parameters.
 
 Any sweep-backed experiment accepts ``--workers N`` (process-pool
 fan-out over grid cells; results are identical at any worker count)
@@ -20,13 +26,10 @@ import argparse
 import sys
 
 from .config import ControllerConfig
-from .core.baselines import DefaultController, StaticPowerCap
-from .core.duf import DUF
-from .core.dufp import DUFP
-from .core.extensions import DUFPF
+from .core.registry import as_spec, describe_policies, make_spec, parse_policy
 from .errors import ReproError
 from .experiments.registry import experiment_ids, run_experiment
-from .sim.export import write_summary_json, write_trace_csv
+from .sim.export import write_summary_json, write_trace_csv, write_trace_jsonl
 from .sim.run import run_application
 from .workloads.catalog import application_names, build_application
 
@@ -96,8 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print the per-cell timing/cache table",
             )
+            p.add_argument(
+                "--controller",
+                action="append",
+                default=None,
+                metavar="POLICY",
+                help=(
+                    "registered policy to sweep, 'name' or "
+                    "'name:key=val,...' (repeatable; default: duf dufp)"
+                ),
+            )
 
     p_list = sub.add_parser("list", help="list applications and experiments")
+
+    p_policies = sub.add_parser(
+        "policies", help="list registered control policies and their parameters"
+    )
 
     p_export = sub.add_parser(
         "export", help="regenerate every table/figure into a directory"
@@ -117,8 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("app", help=f"one of: {', '.join(application_names())}")
     p_run.add_argument(
         "--controller",
-        choices=("default", "duf", "dufp", "dufpf", "static"),
         default="dufp",
+        metavar="POLICY",
+        help=(
+            "registered policy, 'name' or 'name:key=val,...' "
+            "(see 'repro policies'; default: dufp)"
+        ),
     )
     p_run.add_argument(
         "--slowdown",
@@ -129,8 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--cap",
         type=float,
-        default=110.0,
-        help="static power cap in watts (with --controller static)",
+        default=None,
+        help="shorthand for --controller static:cap_w=CAP",
     )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
@@ -139,30 +160,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the socket-0 trace (10 ms samples) to a CSV file",
     )
     p_run.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help="write the socket-0 trace to a JSONL file",
+    )
+    p_run.add_argument(
         "--summary-json",
         metavar="PATH",
         help="write the run summary (times, energies, phases) to JSON",
     )
     _ = p_list
+    _ = p_policies
     return parser
 
 
 def _run_single(args: argparse.Namespace) -> str:
     cfg = ControllerConfig(tolerated_slowdown=args.slowdown / 100.0)
-    factories = {
-        "default": DefaultController,
-        "duf": lambda: DUF(cfg),
-        "dufp": lambda: DUFP(cfg),
-        "dufpf": lambda: DUFPF(cfg),
-        "static": lambda: StaticPowerCap(args.cap),
-    }
+    spec = parse_policy(args.controller)
+    if args.cap is not None:
+        if spec.name != "static" or args.controller != "static":
+            raise ReproError(
+                "--cap is shorthand for --controller static:cap_w=CAP; "
+                "pass parameters inline with any other policy"
+            )
+        spec = make_spec("static", cap_w=args.cap)
     app = build_application(args.app)
     result = run_application(
-        app, factories[args.controller], controller_cfg=cfg, seed=args.seed
+        app, spec.build(cfg), controller_cfg=cfg, seed=args.seed
     )
     if args.trace_csv:
         rows = write_trace_csv(result, args.trace_csv)
         print(f"wrote {rows} trace rows to {args.trace_csv}")
+    if args.trace_jsonl:
+        lines_out = write_trace_jsonl(result, args.trace_jsonl)
+        print(f"wrote {lines_out} trace lines to {args.trace_jsonl}")
     if args.summary_json:
         write_summary_json(result, args.summary_json)
         print(f"wrote summary to {args.summary_json}")
@@ -182,20 +213,23 @@ def _run_single(args: argparse.Namespace) -> str:
 def _run_sweep(args: argparse.Namespace) -> str:
     from .experiments.sweep import SWEEP_TOLERANCES_PCT, run_sweep
 
+    controllers = tuple(args.controller) if args.controller else ("duf", "dufp")
     sweep = run_sweep(
         apps=args.apps,
         tolerances_pct=args.tolerances or SWEEP_TOLERANCES_PCT,
         runs=args.runs,
+        controllers=controllers,
         app_scale=args.scale,
         workers=args.workers,
         cache=args.cache,
     )
-    within, total = sweep.respected_count("dufp")
-    lines = [
-        sweep.render(),
-        f"dufp tolerance respected in {within}/{total} configurations",
-        sweep.execution.render(per_cell=args.per_cell),
-    ]
+    lines = [sweep.render()]
+    for label in (as_spec(c).label for c in controllers):
+        within, total = sweep.respected_count(label)
+        lines.append(
+            f"{label} tolerance respected in {within}/{total} configurations"
+        )
+    lines.append(sweep.execution.render(per_cell=args.per_cell))
     return "\n".join(lines)
 
 
@@ -210,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             print("applications:", ", ".join(application_names()))
             print("experiments :", ", ".join(experiment_ids()))
+        elif args.command == "policies":
+            print(describe_policies())
         elif args.command == "run":
             print(_run_single(args))
         elif args.command == "export":

@@ -23,8 +23,32 @@ from .baselines import (
     TimeWindowCap,
 )
 from .runtime import SocketContext, ControllerRuntime
+from .registry import (
+    PolicyInfo,
+    PolicySpec,
+    register_policy,
+    policy_names,
+    policy_info,
+    make_spec,
+    as_spec,
+    parse_policy,
+    policy_label,
+    controller_factory,
+    describe_policies,
+)
 
 __all__ = [
+    "PolicyInfo",
+    "PolicySpec",
+    "register_policy",
+    "policy_names",
+    "policy_info",
+    "make_spec",
+    "as_spec",
+    "parse_policy",
+    "policy_label",
+    "controller_factory",
+    "describe_policies",
     "SlowdownTracker",
     "ToleranceVerdict",
     "PhaseDetector",

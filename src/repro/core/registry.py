@@ -1,0 +1,501 @@
+"""Policy registry: declarative, discoverable per-socket control policies.
+
+The paper's DUFP is one point in a family of per-socket power/uncore
+policies (uncore-only, cap-only, static, combined, budget-shared).
+This module makes that family *data*: every controller is registered
+under a short id together with a frozen parameter dataclass, display
+metadata and a builder, so sweeps, the result cache, the CLI and the
+docs all discover policies from one place.
+
+Adding a new policy is one dataclass plus one decorator::
+
+    @register_policy(
+        "fastcap",
+        display_name="FastCap-style fair capper",
+        paper_section="VI (related work)",
+        summary="Cap both sockets fairly from a shared budget.",
+    )
+    @dataclass(frozen=True)
+    class FastCapPolicy:
+        watts: float = 100.0
+
+        def build(self, cfg: ControllerConfig) -> Callable[[], Controller]:
+            return lambda: MyFastCap(cfg, self.watts)
+
+``build`` is invoked once per protocol *run* and returns the per-socket
+controller factory, so policies that share state across sockets (the
+budget coordinator) get a fresh coordinator every run.
+
+A :class:`PolicySpec` is the serialisable selection of one policy —
+``name`` plus an instance of its parameter dataclass.  Specs are
+frozen, picklable and canonically hashable, so they cross process
+boundaries inside :class:`~repro.experiments.executor.RunSpec` and fold
+into the content-addressed result-cache digest: changing any parameter
+changes the cache address.
+
+This is deliberately the *only* module that touches concrete controller
+classes; everything outside ``repro.core`` reaches them through the
+registry (enforced by ``scripts/lint_policy_imports.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import ControllerConfig
+from ..errors import PolicyError
+from ..units import ghz
+from .base import Controller
+from .baselines import (
+    DefaultController,
+    DNPCLike,
+    StaticPowerCap,
+    StaticUncore,
+    TimeWindowCap,
+)
+from .budget import NodeBudgetCoordinator
+from .duf import DUF
+from .dufp import DUFP
+from .extensions import DUFPF, AdaptiveIntervalDUFP
+
+__all__ = [
+    "PolicyInfo",
+    "PolicySpec",
+    "register_policy",
+    "policy_names",
+    "policy_info",
+    "make_spec",
+    "as_spec",
+    "parse_policy",
+    "policy_label",
+    "controller_factory",
+    "describe_policies",
+]
+
+#: Per-socket controller factory, as consumed by the simulation layer.
+ControllerFactory = Callable[[], Controller]
+
+
+@dataclass(frozen=True)
+class PolicyInfo:
+    """Registry metadata for one policy."""
+
+    #: Short registry id (the CLI / sweep / cache-key name).
+    name: str
+    #: Human-readable name for listings.
+    display_name: str
+    #: Where the paper (or related work) describes the policy.
+    paper_section: str
+    #: One-line description for ``repro policies``.
+    summary: str
+    #: Frozen dataclass type carrying the policy's parameters; its
+    #: field defaults are the policy's default parameters and its
+    #: ``build(cfg)`` method produces the per-socket factory.
+    param_cls: type
+
+    @property
+    def defaults(self):
+        """A parameter instance populated with every default."""
+        return self.param_cls()
+
+    def param_fields(self) -> tuple[dataclasses.Field, ...]:
+        """The parameter dataclass fields, declaration order."""
+        return dataclasses.fields(self.param_cls)
+
+
+_REGISTRY: dict[str, PolicyInfo] = {}
+
+
+def register_policy(
+    name: str,
+    *,
+    display_name: str,
+    paper_section: str = "",
+    summary: str = "",
+):
+    """Class decorator registering a parameter dataclass as a policy.
+
+    The decorated class must be a frozen dataclass exposing
+    ``build(cfg: ControllerConfig) -> Callable[[], Controller]``.
+    """
+
+    def decorate(param_cls: type) -> type:
+        if not dataclasses.is_dataclass(param_cls):
+            raise PolicyError(f"policy {name!r} params must be a dataclass")
+        if not callable(getattr(param_cls, "build", None)):
+            raise PolicyError(f"policy {name!r} params must define build(cfg)")
+        if name in _REGISTRY:
+            raise PolicyError(f"policy {name!r} registered twice")
+        _REGISTRY[name] = PolicyInfo(
+            name=name,
+            display_name=display_name,
+            paper_section=paper_section,
+            summary=summary or (param_cls.__doc__ or "").strip().splitlines()[0],
+            param_cls=param_cls,
+        )
+        return param_cls
+
+    return decorate
+
+
+def policy_names() -> tuple[str, ...]:
+    """Every registered policy id, registration order."""
+    return tuple(_REGISTRY)
+
+
+def policy_info(name: str) -> PolicyInfo:
+    """Metadata for one policy; raises :class:`PolicyError` if unknown."""
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return info
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One selected policy: registry id plus a parameter instance.
+
+    Frozen (hashable), picklable, and canonically hashable through
+    :func:`repro.config.config_digest` — the spec is exactly what the
+    experiment layer threads through :class:`~repro.experiments.
+    executor.RunSpec` and into the result-cache address.
+    """
+
+    name: str
+    #: Instance of the policy's parameter dataclass; ``None`` at
+    #: construction means "all defaults" and is resolved immediately.
+    params: object = None
+
+    def __post_init__(self) -> None:
+        info = policy_info(self.name)
+        params = self.params if self.params is not None else info.defaults
+        if not isinstance(params, info.param_cls):
+            raise PolicyError(
+                f"policy {self.name!r} expects {info.param_cls.__name__} "
+                f"params, got {type(params).__name__}"
+            )
+        object.__setattr__(self, "params", params)
+
+    @property
+    def info(self) -> PolicyInfo:
+        """The registry metadata this spec refers to."""
+        return policy_info(self.name)
+
+    @property
+    def label(self) -> str:
+        """Display label: the policy id specialised by its parameters."""
+        label_fn = getattr(self.params, "label", None)
+        return label_fn() if callable(label_fn) else self.name
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """The per-socket controller factory for one protocol run."""
+        return self.params.build(cfg)
+
+
+def make_spec(name: str, **params) -> PolicySpec:
+    """Construct a spec from keyword parameters over the defaults."""
+    info = policy_info(name)
+    known = {f.name for f in info.param_fields()}
+    unknown = set(params) - known
+    if unknown:
+        raise PolicyError(
+            f"policy {name!r} has no parameter(s) {sorted(unknown)}; "
+            f"accepts: {sorted(known) or 'none'}"
+        )
+    return PolicySpec(name, info.param_cls(**params))
+
+
+def as_spec(policy: "PolicySpec | str") -> PolicySpec:
+    """Coerce a policy selection (spec, id, or ``name:k=v,...``) to a spec."""
+    if isinstance(policy, PolicySpec):
+        return policy
+    if isinstance(policy, str):
+        return parse_policy(policy)
+    raise PolicyError(f"cannot interpret {policy!r} as a policy")
+
+
+def _coerce(value: str, target_type) -> object:
+    """Parse one CLI parameter value according to the field's type."""
+    if target_type is bool or target_type == "bool":
+        lowered = value.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise PolicyError(f"expected a boolean, got {value!r}")
+    if target_type is int or target_type == "int":
+        return int(value)
+    if target_type is float or target_type == "float":
+        return float(value)
+    return value
+
+
+def parse_policy(text: str) -> PolicySpec:
+    """Parse ``name`` or ``name:key=val,key=val`` into a spec.
+
+    The CLI syntax: ``--controller budget:watts=95`` selects the
+    ``budget`` policy with ``watts=95`` and defaults elsewhere.  Value
+    strings are coerced using the parameter dataclass's field types.
+    """
+    name, _, param_text = text.partition(":")
+    name = name.strip()
+    info = policy_info(name)
+    params: dict[str, object] = {}
+    if param_text.strip():
+        types = {f.name: f.type for f in info.param_fields()}
+        for item in param_text.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise PolicyError(
+                    f"malformed policy parameter {item!r} "
+                    f"(expected key=value) in {text!r}"
+                )
+            if key not in types:
+                raise PolicyError(
+                    f"policy {name!r} has no parameter {key!r}; "
+                    f"accepts: {sorted(types) or 'none'}"
+                )
+            params[key] = _coerce(value.strip(), types[key])
+    return make_spec(name, **params)
+
+
+def policy_label(policy: "PolicySpec | str") -> str:
+    """The display label of a policy selection, via the registry only."""
+    return as_spec(policy).label
+
+
+def controller_factory(
+    policy: "PolicySpec | str", cfg: ControllerConfig | None = None
+) -> ControllerFactory:
+    """Resolve a policy selection to a fresh per-socket factory.
+
+    Call once per protocol run: policies with cross-socket shared state
+    (``budget``) allocate that state here, so runs never share it.
+    """
+    return as_spec(policy).build(cfg or ControllerConfig())
+
+
+def describe_policies() -> str:
+    """The ``repro policies`` listing, one block per registered policy."""
+    lines: list[str] = []
+    for name in policy_names():
+        info = policy_info(name)
+        section = f"  [{info.paper_section}]" if info.paper_section else ""
+        lines.append(f"{name:14s} {info.display_name}{section}")
+        lines.append(f"{'':14s}   {info.summary}")
+        params = info.param_fields()
+        if params:
+            rendered = ", ".join(
+                f"{f.name}={getattr(info.defaults, f.name)!r}" for f in params
+            )
+            lines.append(f"{'':14s}   params: {rendered}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Registrations: every controller in the repo, including the baselines
+# that were previously unreachable from the sweep path.
+# ---------------------------------------------------------------------------
+
+
+@register_policy(
+    "default",
+    display_name="Default configuration",
+    paper_section="V (baseline)",
+    summary="Untouched machine: stock uncore governor, default RAPL limits.",
+)
+@dataclass(frozen=True)
+class DefaultPolicy:
+    """Parameters of the default (no-op) policy: none."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket factory for the no-op controller."""
+        return DefaultController
+
+
+@register_policy(
+    "duf",
+    display_name="DUF dynamic uncore scaling",
+    paper_section="II-C",
+    summary="Uncore-only dynamic frequency scaling (André et al.).",
+)
+@dataclass(frozen=True)
+class DUFPolicy:
+    """Parameters of DUF: none beyond the shared controller config."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket DUF factory over the shared controller config."""
+        return lambda: DUF(cfg)
+
+
+@register_policy(
+    "dufp",
+    display_name="DUFP uncore scaling + dynamic capping",
+    paper_section="IV",
+    summary="The paper's contribution: DUF plus dynamic RAPL capping.",
+)
+@dataclass(frozen=True)
+class DUFPPolicy:
+    """Parameters of DUFP: none beyond the shared controller config."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket DUFP factory over the shared controller config."""
+        return lambda: DUFP(cfg)
+
+
+@register_policy(
+    "dufpf",
+    display_name="DUFP + explicit core-frequency ceiling",
+    paper_section="VII (future work)",
+    summary="DUFP driving IA32_PERF_CTL instead of capping for feedback.",
+)
+@dataclass(frozen=True)
+class DUFPFPolicy:
+    """Parameters of DUFPF: none beyond the shared controller config."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket DUFPF factory over the shared controller config."""
+        return lambda: DUFPF(cfg)
+
+
+@register_policy(
+    "dufp-adaptive",
+    display_name="DUFP with transiently finer interval",
+    paper_section="V-A (remedy)",
+    summary="DUFP judging strictly for a few ticks after phase changes.",
+)
+@dataclass(frozen=True)
+class AdaptiveDUFPPolicy:
+    """Parameters of the adaptive-interval DUFP variant."""
+
+    #: Ticks judged with the sharpened error band after a phase change.
+    fine_ticks: int = 3
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket adaptive-DUFP factory."""
+        return lambda: AdaptiveIntervalDUFP(cfg, fine_ticks=self.fine_ticks)
+
+
+@register_policy(
+    "static",
+    display_name="Static power cap",
+    paper_section="II-A (Fig. 1a)",
+    summary="One fixed package cap for the whole run, stock uncore scaling.",
+)
+@dataclass(frozen=True)
+class StaticCapPolicy:
+    """Parameters of the whole-run static power cap."""
+
+    #: Package power cap, watts.
+    cap_w: float = 110.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"static-{self.cap_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket static-cap factory."""
+        return lambda: StaticPowerCap(self.cap_w)
+
+
+@register_policy(
+    "uncore",
+    display_name="Static uncore frequency",
+    paper_section="II-B",
+    summary="The uncore pinned to one frequency for the whole run.",
+)
+@dataclass(frozen=True)
+class StaticUncorePolicy:
+    """Parameters of the pinned-uncore baseline."""
+
+    #: Pinned uncore frequency, GHz (paper's socket: 1.2-2.4).
+    freq_ghz: float = 2.4
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"uncore-{self.freq_ghz:.1f}GHz"
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket pinned-uncore factory."""
+        return lambda: StaticUncore(ghz(self.freq_ghz))
+
+
+@register_policy(
+    "window",
+    display_name="Time-windowed power cap",
+    paper_section="II-A (Fig. 1b/1c)",
+    summary="A cap active only inside [start_s, end_s), then reset.",
+)
+@dataclass(frozen=True)
+class TimeWindowCapPolicy:
+    """Parameters of the phase-local (time-windowed) cap."""
+
+    #: Package power cap while the window is active, watts.
+    cap_w: float = 110.0
+    #: Window start, seconds of run time.
+    start_s: float = 0.0
+    #: Window end, seconds of run time.
+    end_s: float = 10.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"window-{self.cap_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket windowed-cap factory."""
+        return lambda: TimeWindowCap(self.cap_w, self.start_s, self.end_s)
+
+
+@register_policy(
+    "dnpc",
+    display_name="DNPC-style frequency-model capper",
+    paper_section="VI (related work)",
+    summary="Dynamic capping assuming performance scales with core frequency.",
+)
+@dataclass(frozen=True)
+class DNPCPolicy:
+    """Parameters of the DNPC-like baseline: none."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket DNPC-like factory."""
+        return lambda: DNPCLike(cfg)
+
+
+@register_policy(
+    "budget",
+    display_name="Node budget sharing (GEOPM-style)",
+    paper_section="VI / VII (complementary)",
+    summary="DUF uncore scaling under a coordinator-split node power budget.",
+)
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Parameters of the budget-shared policy.
+
+    ``build`` allocates a fresh :class:`NodeBudgetCoordinator` per run;
+    the returned factory registers one member controller per socket, so
+    the budget genuinely spans the run's sockets and never leaks
+    between runs.
+    """
+
+    #: Node-wide power budget shared by every socket of the run, watts
+    #: (a 1-socket run owns the full budget).
+    watts: float = 110.0
+    #: Re-allocate every this many controller ticks.
+    period_ticks: int = 5
+    #: Extra headroom granted above measured demand, watts.
+    headroom_w: float = 5.0
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Fresh coordinator per run; factory registers member sockets."""
+        coordinator = NodeBudgetCoordinator(
+            total_budget_w=self.watts,
+            cfg=cfg,
+            period_ticks=self.period_ticks,
+            headroom_w=self.headroom_w,
+        )
+        return coordinator.socket_controller

@@ -63,3 +63,7 @@ class ControllerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown id, invalid protocol)."""
+
+
+class PolicyError(ReproError):
+    """A policy-registry failure (unknown policy, bad parameters)."""

@@ -1,9 +1,11 @@
 """Parallel experiment execution with content-addressed caching.
 
-Every independent protocol run — one ``(application, controller,
-config)`` cell of a sweep, one sensitivity probe — is described by a
+Every independent protocol run — one ``(application, policy, config)``
+cell of a sweep, one sensitivity probe — is described by a
 :class:`RunSpec`: a frozen, picklable value object carrying everything
-the run depends on.  :func:`run_specs` fans a batch of specs out over a
+the run depends on, including the full
+:class:`~repro.core.registry.PolicySpec` (policy id *and* parameters),
+so any registered policy is runnable and cacheable.  :func:`run_specs` fans a batch of specs out over a
 :class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` keeps
 the classic in-process serial path) and consults an optional
 :class:`~repro.experiments.cache.ResultCache` first, so warm reruns
@@ -32,16 +34,12 @@ from ..config import (
     SocketConfig,
     config_digest,
 )
-from ..core.baselines import DefaultController, StaticPowerCap
-from ..core.duf import DUF
-from ..core.dufp import DUFP
-from ..core.extensions import DUFPF
+from ..core.registry import PolicySpec, as_spec, policy_names
 from ..errors import ExperimentError
 from .cache import CACHE_SCHEMA, ResultCache
 from .protocol import ProtocolResult, run_protocol
 
 __all__ = [
-    "CONTROLLER_IDS",
     "RunSpec",
     "CellReport",
     "ExecutionSummary",
@@ -51,21 +49,22 @@ __all__ = [
     "run_specs",
 ]
 
-#: Controller ids a spec may name (string-keyed so specs stay picklable).
-CONTROLLER_IDS: tuple[str, ...] = ("default", "duf", "dufp", "dufpf", "static")
-
 
 @dataclass(frozen=True)
 class RunSpec:
     """One protocol run, fully described by picklable values.
 
-    Controllers are named by id, not held as objects, so a spec can
-    cross a process boundary and be hashed for the result cache.
-    ``label`` is display-only and excluded from the cache key.
+    Controllers are selected by :class:`~repro.core.registry.
+    PolicySpec` (a policy id string coerces at construction), so a
+    spec can cross a process boundary and be hashed for the result
+    cache — policy *parameters* are part of the content address, so a
+    parameter change invalidates cached results exactly like any other
+    config change.  ``label`` is display-only and excluded from the
+    cache key.
     """
 
     app_name: str
-    controller: str
+    controller: PolicySpec | str
     controller_cfg: ControllerConfig = field(default_factory=ControllerConfig)
     runs: int = 10
     base_seed: int = 0
@@ -75,21 +74,25 @@ class RunSpec:
     socket: SocketConfig | None = None
     socket_count: int = 1
     record_trace: bool = False
-    static_cap_w: float = 110.0
     label: str = ""
 
+    def __post_init__(self) -> None:
+        # Coerce policy-id strings (including "name:key=val,...") to a
+        # registry spec; unknown names fail fast, at submission time.
+        object.__setattr__(self, "controller", as_spec(self.controller))
+
     def validate(self) -> None:
-        if self.controller not in CONTROLLER_IDS:
+        if self.controller.name not in policy_names():
             raise ExperimentError(
-                f"unknown controller {self.controller!r}; "
-                f"available: {', '.join(CONTROLLER_IDS)}"
+                f"unknown controller {self.controller.name!r}; "
+                f"available: {', '.join(policy_names())}"
             )
         if self.runs < 1:
             raise ExperimentError("RunSpec.runs must be at least 1")
 
     @property
     def display(self) -> str:
-        return self.label or f"{self.app_name}/{self.controller}"
+        return self.label or f"{self.app_name}/{self.controller.label}"
 
 
 def cell_seed(*parts) -> int:
@@ -118,21 +121,6 @@ def spec_key(spec: RunSpec) -> str:
     )
 
 
-def _controller_factory(spec: RunSpec):
-    cfg = spec.controller_cfg
-    if spec.controller == "default":
-        return DefaultController
-    if spec.controller == "duf":
-        return lambda: DUF(cfg)
-    if spec.controller == "dufp":
-        return lambda: DUFP(cfg)
-    if spec.controller == "dufpf":
-        return lambda: DUFPF(cfg)
-    if spec.controller == "static":
-        return lambda: StaticPowerCap(spec.static_cap_w)
-    raise ExperimentError(f"unknown controller {spec.controller!r}")
-
-
 def execute_spec(spec: RunSpec) -> ProtocolResult:
     """Run one spec to completion (in whichever process this is)."""
     spec.validate()
@@ -143,7 +131,7 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
     )
     return run_protocol(
         app,
-        _controller_factory(spec),
+        spec.controller,
         controller_cfg=spec.controller_cfg,
         runs=spec.runs,
         base_seed=spec.base_seed,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.tables import format_table
 from ..config import ControllerConfig, NoiseConfig
-from ..core.baselines import DefaultController, StaticPowerCap, StaticUncore, TimeWindowCap
+from ..core.registry import make_spec
 from ..errors import ExperimentError
 from ..sim.run import run_application
 from ..workloads.catalog import build_application
@@ -63,10 +63,11 @@ class Fig1Result:
         )
 
 
-def _cg_protocol(factory, cfg, runs, noise):
+def _cg_protocol(policy, cfg, runs, noise):
+    """Run the measurement protocol for CG under a registry policy."""
     return run_protocol(
         build_application("CG"),
-        factory,
+        policy,
         controller_cfg=cfg,
         runs=runs,
         noise=noise,
@@ -78,12 +79,11 @@ def fig1a(runs: int = 10, noise: NoiseConfig | None = None) -> Fig1Result:
     cfg = ControllerConfig()
     noise = noise or NoiseConfig()
     budget = 125.0
-    uncore_max = 2.4e9
 
-    default = _cg_protocol(lambda: StaticUncore(uncore_max), cfg, runs, noise)
-    configs = [("ufs", DefaultController)]
+    default = _cg_protocol(make_spec("uncore", freq_ghz=2.4), cfg, runs, noise)
+    configs = [("ufs", make_spec("default"))]
     for cap in FIG1_CAPS_W:
-        configs.append((f"ufs+{cap:.0f}W", lambda cap=cap: StaticPowerCap(cap)))
+        configs.append((f"ufs+{cap:.0f}W", make_spec("static", cap_w=cap)))
 
     result = Fig1Result(panel="a")
     result.rows.append(
@@ -93,8 +93,8 @@ def fig1a(runs: int = 10, noise: NoiseConfig | None = None) -> Fig1Result:
             100.0 * default.mean_package_power_w / budget,
         )
     )
-    for label, factory in configs:
-        res = _cg_protocol(factory, cfg, runs, noise)
+    for label, policy in configs:
+        res = _cg_protocol(policy, cfg, runs, noise)
         result.rows.append(
             Fig1Row(
                 label,
@@ -109,7 +109,7 @@ def _setup_window(noise: NoiseConfig) -> tuple[float, float]:
     """The time window of CG's initial memory phase in a default run."""
     run = run_application(
         build_application("CG"),
-        DefaultController,
+        make_spec("default").build(ControllerConfig()),
         noise=noise,
         seed=noise.seed,
         record_trace=True,
@@ -133,7 +133,7 @@ def _fig1_windowed(panel: str, runs: int, noise: NoiseConfig | None) -> Fig1Resu
 
     default = run_protocol(
         build_application("CG"),
-        lambda: StaticUncore(2.4e9),
+        make_spec("uncore", freq_ghz=2.4),
         controller_cfg=cfg,
         runs=runs,
         noise=noise,
@@ -143,18 +143,18 @@ def _fig1_windowed(panel: str, runs: int, noise: NoiseConfig | None) -> Fig1Resu
     result.rows.append(
         Fig1Row("default", 100.0, 100.0 * window_power(default) / budget)
     )
-    configs: list[tuple[str, object]] = [("ufs", DefaultController)]
+    configs = [("ufs", make_spec("default"))]
     for cap in FIG1_CAPS_W:
         configs.append(
             (
                 f"ufs+{cap:.0f}W",
-                lambda cap=cap: TimeWindowCap(cap, 0.0, window_end),
+                make_spec("window", cap_w=cap, start_s=0.0, end_s=window_end),
             )
         )
-    for label, factory in configs:
+    for label, policy in configs:
         res = run_protocol(
             build_application("CG"),
-            factory,
+            policy,
             controller_cfg=cfg,
             runs=runs,
             noise=noise,

@@ -13,8 +13,7 @@ from dataclasses import dataclass
 from ..analysis.series import resample_series
 from ..analysis.tables import format_table
 from ..config import ControllerConfig, NoiseConfig
-from ..core.duf import DUF
-from ..core.dufp import DUFP
+from ..core.registry import controller_factory
 from ..sim.run import run_application
 from ..workloads.catalog import build_application
 
@@ -62,10 +61,10 @@ def fig5(
     noise = noise or NoiseConfig()
     series = {}
     averages = {}
-    for label, factory in (("duf", lambda: DUF(cfg)), ("dufp", lambda: DUFP(cfg))):
+    for label in ("duf", "dufp"):
         run = run_application(
             build_application(app_name),
-            factory,
+            controller_factory(label, cfg),
             controller_cfg=cfg,
             noise=noise,
             seed=noise.seed,

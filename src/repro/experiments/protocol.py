@@ -22,10 +22,12 @@ from ..config import (
     SocketConfig,
 )
 from ..core.base import Controller
+from ..core.registry import PolicySpec, as_spec
 from ..errors import ExperimentError
 from ..sim.machine import SimulatedMachine
 from ..sim.result import RunResult
 from ..sim.run import run_application
+from ..sim.trace import TraceSink
 from ..workloads.application import Application
 
 __all__ = ["ProtocolResult", "Comparison", "run_protocol", "compare"]
@@ -75,7 +77,7 @@ class ProtocolResult:
 
 def run_protocol(
     application: Application,
-    controller_factory: Callable[[], Controller],
+    controller: "PolicySpec | str | Callable[[], Controller]",
     *,
     controller_cfg: ControllerConfig | None = None,
     runs: int = DEFAULT_RUNS,
@@ -85,41 +87,63 @@ def run_protocol(
     socket_count: int = 1,
     record_trace: bool = False,
     socket: SocketConfig | None = None,
+    trace_sink: TraceSink | None = None,
 ) -> ProtocolResult:
     """Execute ``runs`` seeded repetitions of one configuration.
 
+    ``controller`` is a registry selection — a
+    :class:`~repro.core.registry.PolicySpec`, a policy id string
+    (``"dufp"``, ``"budget:watts=95"``) — or, for ad-hoc callers, a
+    plain per-socket controller factory.  Registry selections resolve
+    to a *fresh* factory every run, so policies with cross-socket
+    shared state (the budget coordinator) never leak between runs, and
+    the reported controller name comes from registry metadata rather
+    than a throwaway instance.
+
     ``socket`` overrides the default yeti-2 socket model (a fresh
     machine is built from it for every run — machines are stateful).
+    ``trace_sink`` is attached to the *last* run — the run whose trace
+    the protocol has always kept — replacing the forced in-memory
+    recording, so streamed protocols stay O(1) in RAM.
     """
     if runs < 1:
         raise ExperimentError("need at least one run")
     noise = noise or NoiseConfig()
+    spec: PolicySpec | None = None
+    if not callable(controller) or isinstance(controller, str):
+        spec = as_spec(controller)
     result = ProtocolResult(
         app_name=application.name,
-        controller_name=controller_factory().name,
+        controller_name=spec.label if spec is not None else "",
     )
+    cfg = controller_cfg or ControllerConfig()
     for r in range(runs):
         machine = None
         if socket is not None:
             machine = SimulatedMachine(
                 MachineConfig(socket=socket, socket_count=socket_count)
             )
+        factory = spec.build(cfg) if spec is not None else controller
         run = run_application(
             application,
-            controller_factory,
-            controller_cfg=controller_cfg,
+            factory,
+            controller_cfg=cfg,
             machine=machine,
             noise=noise,
             engine_cfg=engine_cfg,
             socket_count=socket_count,
             seed=noise.seed + 1009 * r + base_seed,
-            record_trace=record_trace or (r == runs - 1),
+            record_trace=record_trace
+            or (trace_sink is None and r == runs - 1),
+            trace_sink=trace_sink if r == runs - 1 else None,
         )
         result.times_s.append(run.execution_time_s)
         result.package_power_w.append(run.avg_package_power_w)
         result.dram_power_w.append(run.avg_dram_power_w)
         result.total_energy_j.append(run.total_energy_j)
         result.last_run = run
+        if not result.controller_name:
+            result.controller_name = run.controller_name
     return result
 
 

@@ -20,6 +20,7 @@ from ..config import (
     SocketConfig,
     yeti_socket_config,
 )
+from ..core.registry import as_spec
 from ..errors import ExperimentError
 from .cache import ResultCache
 from .executor import RunSpec, run_specs
@@ -143,10 +144,10 @@ def _probe_specs(
             base_seed=seed - noise.seed,
             noise=noise,
             socket=socket,
-            label=f"{tag}:{app_name}/{ctrl}",
+            label=f"{tag}:{app_name}/{ctrl.label}",
         )
         for app_name in ("CG", "EP")
-        for ctrl in ("default", "dufp")
+        for ctrl in (as_spec("default"), as_spec("dufp"))
     ]
 
 

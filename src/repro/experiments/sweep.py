@@ -21,6 +21,7 @@ from typing import Iterable
 
 from ..config import ControllerConfig, EngineConfig, NoiseConfig, with_slowdown
 from ..analysis.tables import format_table
+from ..core.registry import PolicySpec, as_spec
 from ..errors import ExperimentError
 from ..workloads.catalog import application_names
 from .cache import ResultCache
@@ -101,13 +102,21 @@ def sweep_specs(
     apps: Iterable[str] | None = None,
     tolerances_pct: Iterable[float] = SWEEP_TOLERANCES_PCT,
     runs: int = 10,
-    controllers: Iterable[str] = ("duf", "dufp"),
+    controllers: Iterable[PolicySpec | str] = ("duf", "dufp"),
     base_cfg: ControllerConfig | None = None,
     noise: NoiseConfig | None = None,
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
+
+    ``controllers`` accepts any registered policy — a
+    :class:`~repro.core.registry.PolicySpec`, a policy id, or the CLI
+    syntax ``"name:key=val,..."`` — so baselines like ``dnpc`` or
+    ``budget:watts=95`` run through the identical grid/cache
+    machinery as DUF and DUFP.  Comparison cells are keyed by the
+    policy's parameter-specialised *label* (``static-100W``), keeping
+    two parameterisations of one policy distinct within a grid.
 
     Returns ``(specs, cells)`` of equal length; a ``None`` cell marks
     an app's default-configuration baseline, a tuple the comparison
@@ -116,10 +125,10 @@ def sweep_specs(
     """
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
-    ctrl_list = tuple(controllers)
-    for c in ctrl_list:
-        if c not in ("duf", "dufp"):
-            raise ExperimentError(f"unknown sweep controller {c!r}")
+    ctrl_list = tuple(as_spec(c) for c in controllers)
+    labels = [c.label for c in ctrl_list]
+    if len(set(labels)) != len(labels):
+        raise ExperimentError(f"duplicate sweep controllers: {labels}")
     base_cfg = base_cfg or ControllerConfig()
     noise = noise or NoiseConfig()
     engine_cfg = engine_cfg or EngineConfig()
@@ -143,21 +152,21 @@ def sweep_specs(
         cells.append(None)
         for tol in tol_list:
             cfg = with_slowdown(base_cfg, tol)
-            for ctrl_name in ctrl_list:
+            for ctrl in ctrl_list:
                 specs.append(
                     RunSpec(
                         app_name=app_name,
-                        controller=ctrl_name,
+                        controller=ctrl,
                         controller_cfg=cfg,
                         runs=runs,
-                        base_seed=cell_seed(app_name, ctrl_name, tol),
+                        base_seed=cell_seed(app_name, ctrl.label, tol),
                         app_scale=app_scale,
                         noise=noise,
                         engine_cfg=engine_cfg,
-                        label=f"{app_name}/{ctrl_name}@{tol:.0f}%",
+                        label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
                 )
-                cells.append((app_name, ctrl_name, tol))
+                cells.append((app_name, ctrl.label, tol))
     return specs, cells
 
 
@@ -166,7 +175,7 @@ def run_sweep(
     apps: Iterable[str] | None = None,
     tolerances_pct: Iterable[float] = SWEEP_TOLERANCES_PCT,
     runs: int = 10,
-    controllers: Iterable[str] = ("duf", "dufp"),
+    controllers: Iterable[PolicySpec | str] = ("duf", "dufp"),
     base_cfg: ControllerConfig | None = None,
     noise: NoiseConfig | None = None,
     engine_cfg: EngineConfig | None = None,

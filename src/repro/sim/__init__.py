@@ -4,11 +4,19 @@ from .machine import SimulatedMachine, yeti_machine
 from .result import RunResult, TraceSample, PhaseSpan, SocketResult
 from .engine import SimulationEngine
 from .run import run_application
+from .trace import (
+    TraceSink,
+    InMemoryTraceSink,
+    RingBufferTraceSink,
+    StreamingTraceSink,
+    CompositeTraceSink,
+)
 from .export import (
     run_summary,
     trace_csv_string,
     write_summary_json,
     write_trace_csv,
+    write_trace_jsonl,
 )
 from .hetero import HeteroEngine, HeteroResult
 
@@ -21,10 +29,16 @@ __all__ = [
     "SocketResult",
     "SimulationEngine",
     "run_application",
+    "TraceSink",
+    "InMemoryTraceSink",
+    "RingBufferTraceSink",
+    "StreamingTraceSink",
+    "CompositeTraceSink",
     "run_summary",
     "trace_csv_string",
     "write_summary_json",
     "write_trace_csv",
+    "write_trace_jsonl",
     "HeteroEngine",
     "HeteroResult",
 ]

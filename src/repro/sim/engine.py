@@ -7,6 +7,11 @@ than rounded to the step grid.  After every step the controller runtime
 fires any measurement ticks that became due — the controllers only ever
 see the machine through their PAPI meters, never the engine's ground
 truth.
+
+Trace recording is delegated to a :class:`~repro.sim.trace.TraceSink`:
+``record_trace=True`` without an explicit sink keeps the classic
+in-memory behaviour, while a streaming or ring-buffer sink bounds RAM
+for arbitrarily long runs (see :mod:`repro.sim.trace`).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from ..errors import SimulationError
 from ..workloads.application import Application
 from .machine import SimulatedMachine
 from .result import PhaseSpan, RunResult, SocketResult, TraceSample
+from .trace import InMemoryTraceSink, TraceSink
 
 __all__ = ["SimulationEngine"]
 
@@ -54,6 +60,10 @@ class SimulationEngine:
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     seed: int | None = None
     record_trace: bool = True
+    #: Observer receiving every trace sample.  ``None`` with
+    #: ``record_trace=True`` means an in-memory sink (classic
+    #: behaviour); ``None`` with ``record_trace=False`` records nothing.
+    trace_sink: TraceSink | None = None
 
     def __post_init__(self) -> None:
         self.engine_cfg.validate()
@@ -102,39 +112,46 @@ class SimulationEngine:
         runtime.start()
 
         progress = [_SocketProgress() for _ in range(self.machine.socket_count)]
-        traces: list[list[TraceSample]] = [
-            [] for _ in range(self.machine.socket_count)
-        ]
+        sink = self.trace_sink
+        if sink is None and self.record_trace:
+            sink = InMemoryTraceSink()
         now = 0.0
         dt = self.engine_cfg.dt_s
 
-        while any(p.finish_time_s is None for p in progress):
-            if now >= self.engine_cfg.max_sim_time_s:
-                raise SimulationError(
-                    f"simulation exceeded {self.engine_cfg.max_sim_time_s}s "
-                    f"(application {self.application!r} stuck?)"
-                )
-            for sid, proc in enumerate(self.machine.processors):
-                self._advance_socket(
-                    proc, socket_apps[sid], progress[sid], now, dt
-                )
-                if self.record_trace:
-                    s = proc.state
-                    traces[sid].append(
-                        TraceSample(
-                            time_s=s.time_s,
-                            core_freq_hz=s.core_freq_hz,
-                            uncore_freq_hz=s.uncore_freq_hz,
-                            package_power_w=s.package.total_w,
-                            dram_power_w=s.dram_power_w,
-                            cap_w=proc.rapl.pl1.limit_w,
-                            flops_rate=s.flops_rate,
-                            bytes_rate=s.bytes_rate,
-                            temperature_c=s.temperature_c,
-                        )
+        if sink is not None:
+            sink.open(self.machine.socket_count)
+        try:
+            while any(p.finish_time_s is None for p in progress):
+                if now >= self.engine_cfg.max_sim_time_s:
+                    raise SimulationError(
+                        f"simulation exceeded {self.engine_cfg.max_sim_time_s}s "
+                        f"(application {self.application!r} stuck?)"
                     )
-            now += dt
-            runtime.on_time(now)
+                for sid, proc in enumerate(self.machine.processors):
+                    self._advance_socket(
+                        proc, socket_apps[sid], progress[sid], now, dt
+                    )
+                    if sink is not None:
+                        s = proc.state
+                        sink.record(
+                            sid,
+                            TraceSample(
+                                time_s=s.time_s,
+                                core_freq_hz=s.core_freq_hz,
+                                uncore_freq_hz=s.uncore_freq_hz,
+                                package_power_w=s.package.total_w,
+                                dram_power_w=s.dram_power_w,
+                                cap_w=proc.rapl.pl1.limit_w,
+                                flops_rate=s.flops_rate,
+                                bytes_rate=s.bytes_rate,
+                                temperature_c=s.temperature_c,
+                            ),
+                        )
+                now += dt
+                runtime.on_time(now)
+        finally:
+            if sink is not None:
+                sink.close()
 
         sockets = []
         for sid, proc in enumerate(self.machine.processors):
@@ -146,7 +163,7 @@ class SimulationEngine:
                     finish_time_s=p.finish_time_s,
                     package_energy_j=proc.package_energy_j,
                     dram_energy_j=proc.dram_energy_j,
-                    trace=traces[sid],
+                    trace=sink.collected(sid) if sink is not None else [],
                     phases=p.spans,
                 )
             )

@@ -15,10 +15,13 @@ from typing import IO
 
 from ..errors import SimulationError
 from .result import RunResult, SocketResult
+from .trace import jsonl_sample_line
 
 __all__ = [
     "trace_to_csv",
     "write_trace_csv",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
     "run_summary",
     "write_summary_json",
 ]
@@ -66,6 +69,28 @@ def write_trace_csv(result: RunResult, path: str, socket_id: int = 0) -> int:
     """Write a socket's trace to ``path``; returns the row count."""
     with open(path, "w", newline="") as f:
         return trace_to_csv(result.socket(socket_id), f)
+
+
+def trace_to_jsonl(socket: SocketResult, stream: IO[str]) -> int:
+    """Write one socket's trace as JSONL; returns the line count.
+
+    Uses the same encoder as the streaming JSONL sink
+    (:func:`repro.sim.trace.jsonl_sample_line`), so serialising an
+    in-memory trace is byte-identical to having streamed the run.
+    """
+    if not socket.trace:
+        raise SimulationError("run recorded no trace (record_trace=False?)")
+    lines = 0
+    for s in socket.trace:
+        stream.write(jsonl_sample_line(socket.socket_id, s))
+        lines += 1
+    return lines
+
+
+def write_trace_jsonl(result: RunResult, path: str, socket_id: int = 0) -> int:
+    """Write a socket's trace to ``path`` as JSONL; returns the line count."""
+    with open(path, "w") as f:
+        return trace_to_jsonl(result.socket(socket_id), f)
 
 
 def run_summary(result: RunResult) -> dict:

@@ -9,6 +9,7 @@ from ..core.base import Controller
 from ..workloads.application import Application
 from .engine import SimulationEngine
 from .machine import SimulatedMachine, yeti_machine
+from .trace import TraceSink
 
 __all__ = ["run_application"]
 
@@ -24,6 +25,7 @@ def run_application(
     engine_cfg: EngineConfig | None = None,
     seed: int | None = None,
     record_trace: bool = True,
+    trace_sink: TraceSink | None = None,
 ):
     """Simulate ``application`` with a fresh controller per socket.
 
@@ -31,7 +33,9 @@ def run_application(
     paper's "one instance of DUFP is started on each socket".  Passing
     a *list* of applications assigns one per socket (a heterogeneous
     node).  A fresh machine is built unless one is supplied (machines
-    are stateful and must not be reused across runs).
+    are stateful and must not be reused across runs).  ``trace_sink``
+    overrides the default in-memory trace recording (see
+    :mod:`repro.sim.trace`).
     """
     if isinstance(application, list) and machine is None and socket_count == 1:
         socket_count = len(application)
@@ -46,5 +50,6 @@ def run_application(
         noise=noise or NoiseConfig(),
         seed=seed,
         record_trace=record_trace,
+        trace_sink=trace_sink,
     )
     return engine.run()

@@ -1,0 +1,263 @@
+"""Trace sinks: observers of the engine's per-step samples.
+
+The engine used to append every :class:`~repro.sim.result.TraceSample`
+to an in-RAM list — fine for one run, ruinous for million-step sweep
+cells.  Recording is now an observer protocol: the engine pushes each
+sample into a :class:`TraceSink` and never owns the storage policy.
+
+* :class:`InMemoryTraceSink` — today's behaviour, byte-for-byte: the
+  full per-socket sample lists end up on ``SocketResult.trace``.
+* :class:`StreamingTraceSink` — writes JSONL or CSV rows as they are
+  produced; RAM stays O(1) regardless of run length, and the JSONL
+  content is byte-identical to serialising an in-memory trace of the
+  same run (``jsonl_sample_line`` is the single encoder for both).
+* :class:`RingBufferTraceSink` — keeps only the last ``capacity``
+  samples per socket (bounded post-mortem window).
+* :class:`CompositeTraceSink` — fans each sample out to several sinks,
+  so "stream to disk *and* keep the tail in RAM" composes freely.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from collections import deque
+from typing import IO
+
+from ..errors import SimulationError
+from .result import TraceSample
+
+__all__ = [
+    "TraceSink",
+    "InMemoryTraceSink",
+    "RingBufferTraceSink",
+    "StreamingTraceSink",
+    "CompositeTraceSink",
+    "jsonl_sample_line",
+    "csv_sample_row",
+    "CSV_HEADER",
+]
+
+#: Column order of streamed CSV rows (socket id + the trace fields).
+CSV_HEADER = (
+    "socket_id",
+    "time_s",
+    "core_freq_hz",
+    "uncore_freq_hz",
+    "package_power_w",
+    "dram_power_w",
+    "cap_w",
+    "flops_rate",
+    "bytes_rate",
+    "temperature_c",
+)
+
+
+def jsonl_sample_line(socket_id: int, sample: TraceSample) -> str:
+    """One JSONL record (with trailing newline) for one trace sample.
+
+    The single encoder shared by the streaming sink and the exporter:
+    a streamed file and a serialised in-memory trace of the same run
+    are byte-identical because both call this function.
+    """
+    record = {
+        "socket_id": socket_id,
+        "time_s": sample.time_s,
+        "core_freq_hz": sample.core_freq_hz,
+        "uncore_freq_hz": sample.uncore_freq_hz,
+        "package_power_w": sample.package_power_w,
+        "dram_power_w": sample.dram_power_w,
+        "cap_w": sample.cap_w,
+        "flops_rate": sample.flops_rate,
+        "bytes_rate": sample.bytes_rate,
+        "temperature_c": sample.temperature_c,
+    }
+    return json.dumps(record, separators=(",", ":")) + "\n"
+
+
+def csv_sample_row(socket_id: int, sample: TraceSample) -> list[str]:
+    """One formatted CSV row for one trace sample (see ``CSV_HEADER``)."""
+    return [
+        str(socket_id),
+        f"{sample.time_s:.6f}",
+        f"{sample.core_freq_hz:.0f}",
+        f"{sample.uncore_freq_hz:.0f}",
+        f"{sample.package_power_w:.3f}",
+        f"{sample.dram_power_w:.3f}",
+        f"{sample.cap_w:.1f}",
+        f"{sample.flops_rate:.3e}",
+        f"{sample.bytes_rate:.3e}",
+        "" if sample.temperature_c is None else f"{sample.temperature_c:.2f}",
+    ]
+
+
+class TraceSink:
+    """Observer of engine trace samples; default hooks are no-ops.
+
+    Lifecycle: the engine calls :meth:`open` once before the first
+    sample, :meth:`record` for every (socket, sample) in simulation
+    order, and :meth:`close` exactly once — in a ``finally``, so sinks
+    holding file handles are released even when a run raises.
+    """
+
+    def open(self, socket_count: int) -> None:
+        """Run is starting; ``socket_count`` sockets will report."""
+
+    def record(self, socket_id: int, sample: TraceSample) -> None:
+        """One engine-step sample of one socket."""
+
+    def close(self) -> None:
+        """Run finished (or aborted); release any resources."""
+
+    def collected(self, socket_id: int) -> list[TraceSample]:
+        """Samples this sink retained for ``socket_id`` (may be empty).
+
+        The engine copies these onto ``SocketResult.trace``; streaming
+        sinks retain nothing and return the default empty list.
+        """
+        return []
+
+
+class InMemoryTraceSink(TraceSink):
+    """Full per-socket sample lists in RAM (the classic behaviour)."""
+
+    def __init__(self) -> None:
+        self._traces: list[list[TraceSample]] = []
+
+    def open(self, socket_count: int) -> None:
+        """Allocate one list per socket."""
+        self._traces = [[] for _ in range(socket_count)]
+
+    def record(self, socket_id: int, sample: TraceSample) -> None:
+        """Append the sample to its socket's list."""
+        self._traces[socket_id].append(sample)
+
+    def collected(self, socket_id: int) -> list[TraceSample]:
+        """The socket's full sample list (the list itself, not a copy)."""
+        return self._traces[socket_id]
+
+
+class RingBufferTraceSink(TraceSink):
+    """Bounded window: only the last ``capacity`` samples per socket."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("ring buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._buffers: list[deque[TraceSample]] = []
+        #: Total samples observed per socket (including evicted ones).
+        self.seen: list[int] = []
+
+    def open(self, socket_count: int) -> None:
+        """Allocate one bounded deque per socket."""
+        self._buffers = [
+            deque(maxlen=self.capacity) for _ in range(socket_count)
+        ]
+        self.seen = [0] * socket_count
+
+    def record(self, socket_id: int, sample: TraceSample) -> None:
+        """Append, evicting the oldest sample once at capacity."""
+        self._buffers[socket_id].append(sample)
+        self.seen[socket_id] += 1
+
+    def collected(self, socket_id: int) -> list[TraceSample]:
+        """The retained tail, oldest first."""
+        return list(self._buffers[socket_id])
+
+
+class StreamingTraceSink(TraceSink):
+    """Writes each sample straight to a JSONL or CSV stream.
+
+    ``target`` is a path (opened on :meth:`open`, closed on
+    :meth:`close`) or an already-open text stream (left open).  RAM use
+    is constant in run length; ``rows`` counts what was written.
+    """
+
+    FORMATS = ("jsonl", "csv")
+
+    def __init__(self, target: str | os.PathLike | IO[str], fmt: str = "jsonl"):
+        if fmt not in self.FORMATS:
+            raise SimulationError(
+                f"unknown trace format {fmt!r}; expected one of {self.FORMATS}"
+            )
+        self.fmt = fmt
+        self.rows = 0
+        self._target = target
+        self._stream: IO[str] | None = None
+        self._owns_stream = False
+        self._csv_writer = None
+
+    def open(self, socket_count: int) -> None:
+        """Open the target (if a path) and emit the CSV header."""
+        if hasattr(self._target, "write"):
+            self._stream = self._target  # type: ignore[assignment]
+        else:
+            self._stream = open(self._target, "w", newline="")
+            self._owns_stream = True
+        if self.fmt == "csv":
+            self._csv_writer = csv.writer(self._stream)
+            self._csv_writer.writerow(CSV_HEADER)
+
+    def record(self, socket_id: int, sample: TraceSample) -> None:
+        """Write one row; nothing is retained in memory."""
+        if self._stream is None:
+            raise SimulationError("streaming sink used before open()")
+        if self.fmt == "jsonl":
+            self._stream.write(jsonl_sample_line(socket_id, sample))
+        else:
+            self._csv_writer.writerow(csv_sample_row(socket_id, sample))
+        self.rows += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this sink opened it."""
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self._stream = None
+        self._csv_writer = None
+
+
+class CompositeTraceSink(TraceSink):
+    """Fans every event out to several sinks, in order.
+
+    ``collected`` answers from the first child that retained anything,
+    so composing a streaming sink with an in-memory (or ring) sink
+    still yields populated ``SocketResult.trace`` lists.
+    """
+
+    def __init__(self, *sinks: TraceSink):
+        if not sinks:
+            raise SimulationError("composite sink needs at least one child")
+        self.sinks = sinks
+
+    def open(self, socket_count: int) -> None:
+        """Open every child."""
+        for sink in self.sinks:
+            sink.open(socket_count)
+
+    def record(self, socket_id: int, sample: TraceSample) -> None:
+        """Record into every child."""
+        for sink in self.sinks:
+            sink.record(socket_id, sample)
+
+    def close(self) -> None:
+        """Close every child (later children close even if one raises)."""
+        errors: list[Exception] = []
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    def collected(self, socket_id: int) -> list[TraceSample]:
+        """The first child's non-empty retained samples, if any."""
+        for sink in self.sinks:
+            samples = sink.collected(socket_id)
+            if samples:
+                return samples
+        return []

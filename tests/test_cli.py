@@ -23,9 +23,17 @@ class TestParser:
         assert args.controller == "duf"
         assert args.slowdown == 20.0
 
-    def test_bad_controller_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "CG", "--controller", "magic"])
+    def test_bad_controller_rejected(self, capsys):
+        # Unknown policies now fail at registry resolution, not argparse.
+        assert main(["run", "CG", "--controller", "magic"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "magic" in err
+
+    def test_sweep_controller_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "--controller", "dnpc", "--controller", "budget:watts=95"]
+        )
+        assert args.controller == ["dnpc", "budget:watts=95"]
 
     def test_workers_and_cache_flags(self):
         args = build_parser().parse_args(

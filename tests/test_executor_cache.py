@@ -11,7 +11,8 @@ from dataclasses import replace
 import pytest
 
 from repro.config import NoiseConfig, config_digest, yeti_socket_config
-from repro.errors import ExperimentError
+from repro.core.registry import make_spec
+from repro.errors import ExperimentError, PolicyError
 from repro.experiments.cache import ResultCache
 from repro.experiments.executor import (
     RunSpec,
@@ -70,7 +71,9 @@ class TestSpecKey:
             small_spec(socket=yeti_socket_config()),
             small_spec(socket_count=2),
             small_spec(record_trace=True),
-            small_spec(controller="static", static_cap_w=100.0),
+            small_spec(controller="static"),
+            small_spec(controller=make_spec("static", cap_w=100.0)),
+            small_spec(controller="budget:watts=95"),
         ]
         keys = {spec_key(v) for v in variants}
         assert spec_key(a) not in keys
@@ -88,8 +91,10 @@ class TestSpecKey:
 
 class TestSpecValidation:
     def test_unknown_controller_rejected(self):
-        with pytest.raises(ExperimentError):
-            small_spec(controller="magic").validate()
+        # Policy-id strings resolve at construction, so the bad name
+        # fails fast inside RunSpec.__post_init__.
+        with pytest.raises(PolicyError):
+            small_spec(controller="magic")
 
     def test_zero_runs_rejected(self):
         with pytest.raises(ExperimentError):

@@ -9,7 +9,7 @@ import pytest
 from repro.config import ControllerConfig, NoiseConfig
 from repro.core.baselines import DefaultController
 from repro.core.dufp import DUFP
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, PolicyError
 from repro.experiments.fig1 import fig1a, fig1b, fig1c
 from repro.experiments.fig3 import fig3a, fig3b, fig3c
 from repro.experiments.fig4 import fig4
@@ -97,7 +97,7 @@ class TestSweep:
         assert within >= 3
 
     def test_unknown_controller_rejected(self):
-        with pytest.raises(ExperimentError):
+        with pytest.raises(PolicyError):
             run_sweep(apps=["EP"], controllers=("magic",), runs=1)
 
     def test_dufp_beats_duf_on_cg_at_10(self, small_sweep):

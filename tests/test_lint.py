@@ -10,6 +10,7 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "scripts"))
 
 from lint_imports import check_file  # noqa: E402
+from lint_policy_imports import check_file as check_policy_imports  # noqa: E402
 
 SOURCE_FILES = sorted((REPO / "src").rglob("*.py"))
 
@@ -20,6 +21,22 @@ class TestImports:
     )
     def test_no_unused_imports(self, path):
         assert check_file(path) == []
+
+
+class TestPolicyImports:
+    """Concrete controller classes stay behind the policy registry."""
+
+    @pytest.mark.parametrize(
+        "path", SOURCE_FILES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_no_out_of_registry_controller_imports(self, path):
+        assert check_policy_imports(path, root=REPO) == []
+
+    def test_linter_catches_an_offender(self, tmp_path):
+        bad = tmp_path / "offender.py"
+        bad.write_text("from repro.core.dufp import DUFP\n")
+        problems = check_policy_imports(bad, root=tmp_path)
+        assert len(problems) == 1 and "DUFP" in problems[0]
 
 
 class TestDocstrings:

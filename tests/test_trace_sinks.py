@@ -1,0 +1,123 @@
+"""Trace sinks: in-memory equivalence, streaming byte-identity, bounds."""
+
+import io
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.registry import controller_factory
+from repro.errors import SimulationError
+from repro.sim.export import trace_to_jsonl
+from repro.sim.run import run_application
+from repro.sim.trace import (
+    CSV_HEADER,
+    CompositeTraceSink,
+    InMemoryTraceSink,
+    RingBufferTraceSink,
+    StreamingTraceSink,
+)
+from repro.workloads.catalog import build_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
+CFG = ControllerConfig(tolerated_slowdown=0.10)
+
+
+def _run(**kwargs):
+    return run_application(
+        build_application("EP", scale=0.2),
+        controller_factory("dufp", CFG),
+        controller_cfg=CFG,
+        noise=QUIET,
+        seed=7,
+        **kwargs,
+    )
+
+
+class TestInMemorySink:
+    def test_matches_classic_recording(self):
+        classic = _run(record_trace=True)
+        sink = InMemoryTraceSink()
+        observed = _run(record_trace=False, trace_sink=sink)
+        assert observed.socket(0).trace == classic.socket(0).trace
+        assert observed.execution_time_s == classic.execution_time_s
+
+    def test_explicit_sink_wins_over_record_trace(self):
+        sink = RingBufferTraceSink(capacity=5)
+        result = _run(record_trace=True, trace_sink=sink)
+        assert len(result.socket(0).trace) == 5
+
+
+class TestStreamingJsonl:
+    def test_byte_identical_to_serialised_memory_trace(self):
+        classic = _run(record_trace=True)
+        expected = io.StringIO()
+        trace_to_jsonl(classic.socket(0), expected)
+
+        streamed = io.StringIO()
+        sink = StreamingTraceSink(streamed, fmt="jsonl")
+        _run(record_trace=False, trace_sink=sink)
+        assert streamed.getvalue() == expected.getvalue()
+        assert sink.rows == len(classic.socket(0).trace)
+
+    def test_path_target_owned_by_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = StreamingTraceSink(path)
+        _run(record_trace=False, trace_sink=sink)
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.rows > 0
+        assert lines[0].startswith('{"socket_id":0,')
+
+    def test_streamed_result_retains_no_trace(self):
+        result = _run(record_trace=False, trace_sink=StreamingTraceSink(io.StringIO()))
+        assert result.socket(0).trace == []
+
+
+class TestStreamingCsv:
+    def test_header_and_row_count(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        sink = StreamingTraceSink(path, fmt="csv")
+        _run(record_trace=False, trace_sink=sink)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(CSV_HEADER)
+        assert len(lines) == sink.rows + 1
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamingTraceSink(io.StringIO(), fmt="parquet")
+
+    def test_record_before_open_rejected(self):
+        sink = StreamingTraceSink(io.StringIO())
+        with pytest.raises(SimulationError):
+            sink.record(0, _run(record_trace=True).socket(0).trace[0])
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_tail(self):
+        classic = _run(record_trace=True)
+        sink = RingBufferTraceSink(capacity=10)
+        result = _run(record_trace=False, trace_sink=sink)
+        full = classic.socket(0).trace
+        assert result.socket(0).trace == full[-10:]
+        assert sink.seen[0] == len(full)
+
+    def test_capacity_validated(self):
+        with pytest.raises(SimulationError):
+            RingBufferTraceSink(capacity=0)
+
+
+class TestCompositeSink:
+    def test_streams_and_retains_at_once(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        streaming = StreamingTraceSink(path)
+        memory = InMemoryTraceSink()
+        result = _run(
+            record_trace=False, trace_sink=CompositeTraceSink(streaming, memory)
+        )
+        trace = result.socket(0).trace
+        assert len(trace) > 0
+        assert len(path.read_text().splitlines()) == len(trace)
+
+    def test_needs_a_child(self):
+        with pytest.raises(SimulationError):
+            CompositeTraceSink()
