@@ -1,0 +1,67 @@
+"""Regenerate the golden fault-injection trace under tests/data/.
+
+The golden trace pins the *exact* byte content of a fault-injected
+DUFP run: sample encoding, event encoding, fault draw order and the
+injector's RNG stream.  Any intentional change to one of those layers
+must regenerate the file (and justify the diff in review):
+
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+
+``tests/test_golden_trace.py`` byte-compares a fresh run against the
+committed file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.dufp import DUFP
+from repro.sim.export import write_trace_jsonl
+from repro.sim.faults import FaultPlan
+from repro.sim.run import run_application
+from repro.workloads.catalog import build_application
+
+GOLDEN = pathlib.Path(__file__).resolve().parents[1] / "tests" / "data"
+
+#: The pinned scenario; tests/test_golden_trace.py mirrors these.
+SEED = 20220530  # the paper's IPDPSW date
+PLAN = FaultPlan(
+    msr_read_fail_rate=0.05,
+    counter_stuck_rate=0.02,
+    power_dropout_rate=0.03,
+    cap_latch_fail_rate=0.10,
+    latch_delay_rate=0.10,
+    tick_miss_rate=0.02,
+    tick_jitter_rate=0.05,
+)
+CFG = ControllerConfig(tolerated_slowdown=0.10)
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+
+
+def golden_run():
+    """The run whose trace is pinned (shared with the test module)."""
+    return run_application(
+        build_application("CG", scale=0.3),
+        lambda: DUFP(CFG),
+        controller_cfg=CFG,
+        noise=QUIET,
+        seed=SEED,
+        faults=PLAN,
+    )
+
+
+def main() -> None:
+    GOLDEN.mkdir(parents=True, exist_ok=True)
+    path = GOLDEN / "golden_dufp_trace.jsonl"
+    result = golden_run()
+    lines = write_trace_jsonl(result, str(path))
+    events = sum(1 for e in result.fault_events)
+    print(f"wrote {lines} lines ({events} fault events) to {path}")
+
+
+if __name__ == "__main__":
+    main()

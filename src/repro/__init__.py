@@ -50,8 +50,15 @@ from .core import (
     policy_names,
     register_policy,
 )
-from .errors import ReproError
-from .sim import RunResult, SimulatedMachine, run_application, yeti_machine
+from .errors import FaultInjectionError, ReproError
+from .sim import (
+    FaultPlan,
+    RunResult,
+    SimulatedMachine,
+    parse_fault_plan,
+    run_application,
+    yeti_machine,
+)
 from .workloads import Application, Phase, application_names, build_application
 
 __version__ = "1.0.0"
@@ -81,6 +88,9 @@ __all__ = [
     "policy_names",
     "register_policy",
     "ReproError",
+    "FaultInjectionError",
+    "FaultPlan",
+    "parse_fault_plan",
     "RunResult",
     "SimulatedMachine",
     "run_application",

@@ -30,6 +30,7 @@ from .core.registry import as_spec, describe_policies, make_spec, parse_policy
 from .errors import ReproError
 from .experiments.registry import experiment_ids, run_experiment
 from .sim.export import write_summary_json, write_trace_csv, write_trace_jsonl
+from .sim.faults import parse_fault_plan
 from .sim.run import run_application
 from .workloads.catalog import application_names, build_application
 
@@ -109,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "'name:key=val,...' (repeatable; default: duf dufp)"
                 ),
             )
+            p.add_argument(
+                "--faults",
+                metavar="SPEC",
+                default=None,
+                help=(
+                    "fault plan applied to every grid cell, e.g. "
+                    "'msr_fail=0.01,cap_latch_fail=0.05' "
+                    "(see docs/FAULTS.md)"
+                ),
+            )
 
     p_list = sub.add_parser("list", help="list applications and experiments")
 
@@ -155,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "seeded fault plan, e.g. 'msr_fail=0.01,cap_latch_fail=0.05' "
+            "(see docs/FAULTS.md)"
+        ),
+    )
+    p_run.add_argument(
         "--trace-csv",
         metavar="PATH",
         help="write the socket-0 trace (10 ms samples) to a CSV file",
@@ -185,8 +205,9 @@ def _run_single(args: argparse.Namespace) -> str:
             )
         spec = make_spec("static", cap_w=args.cap)
     app = build_application(args.app)
+    faults = parse_fault_plan(args.faults) if args.faults else None
     result = run_application(
-        app, spec.build(cfg), controller_cfg=cfg, seed=args.seed
+        app, spec.build(cfg), controller_cfg=cfg, seed=args.seed, faults=faults
     )
     if args.trace_csv:
         rows = write_trace_csv(result, args.trace_csv)
@@ -207,6 +228,8 @@ def _run_single(args: argparse.Namespace) -> str:
         f"CPU+DRAM energy    : {result.total_energy_j / 1e3:.2f} kJ",
         f"avg core frequency : {sock.average_core_freq_hz() / 1e9:.2f} GHz",
     ]
+    if faults is not None:
+        lines.append(f"fault events       : {len(result.fault_events)}")
     return "\n".join(lines)
 
 
@@ -220,6 +243,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         runs=args.runs,
         controllers=controllers,
         app_scale=args.scale,
+        faults=parse_fault_plan(args.faults) if args.faults else None,
         workers=args.workers,
         cache=args.cache,
     )

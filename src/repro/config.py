@@ -43,7 +43,40 @@ __all__ = [
     "yeti_machine_config",
     "canonical_value",
     "config_digest",
+    "validate_bounded_fields",
 ]
+
+
+def validate_bounded_fields(obj) -> None:
+    """Range-check every dataclass field carrying ``range`` metadata.
+
+    A field declared as ``field(default=0.0, metadata={"range": (lo,
+    hi)})`` must satisfy ``lo <= value <= hi`` (``"hi_open": True``
+    makes the upper bound exclusive).  Violations raise
+    :class:`ConfigurationError` naming the offending field, so adding a
+    bounded parameter to a config class can never silently escape
+    validation — the historic failure mode of listing field names by
+    hand in each ``validate``.
+    """
+    for f in dataclasses.fields(obj):
+        bound = f.metadata.get("range")
+        if bound is None:
+            continue
+        lo, hi = bound
+        value = getattr(obj, f.name)
+        hi_open = f.metadata.get("hi_open", False)
+        ok = (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and lo <= value
+            and (value < hi if hi_open else value <= hi)
+        )
+        if not ok:
+            span = f"[{lo}, {hi}{')' if hi_open else ']'}"
+            raise ConfigurationError(
+                f"{type(obj).__name__}.{f.name} must be in {span} "
+                f"(got {value!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -369,19 +402,22 @@ class NoiseConfig:
     """Run-to-run and measurement noise (drives the paper's error bars)."""
 
     #: Std-dev of the multiplicative phase-duration jitter per run.
-    duration_jitter: float = 0.004
+    duration_jitter: float = field(
+        default=0.004, metadata={"range": (0.0, 0.2), "hi_open": True}
+    )
     #: Std-dev of multiplicative noise on each counter read.
-    counter_noise: float = 0.002
+    counter_noise: float = field(
+        default=0.002, metadata={"range": (0.0, 0.2), "hi_open": True}
+    )
     #: Std-dev of multiplicative noise on each energy/power read.
-    power_noise: float = 0.003
+    power_noise: float = field(
+        default=0.003, metadata={"range": (0.0, 0.2), "hi_open": True}
+    )
     #: Master seed; each run derives a child seed from it.
     seed: int = 20220509
 
     def validate(self) -> None:
-        for name in ("duration_jitter", "counter_noise", "power_noise"):
-            v = getattr(self, name)
-            if not 0.0 <= v < 0.2:
-                raise ConfigurationError(f"NoiseConfig.{name} must be in [0, 0.2)")
+        validate_bounded_fields(self)
 
 
 @dataclass(frozen=True)
@@ -430,7 +466,14 @@ def canonical_value(value):
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         out = {"__class__": type(value).__name__}
         for f in dataclasses.fields(value):
-            out[f.name] = canonical_value(getattr(value, f.name))
+            v = getattr(value, f.name)
+            # Fields opting into ``digest_omit_default`` vanish from
+            # the canonical form while they hold their default, so a
+            # feature added behind such a field (e.g. RunSpec.faults)
+            # leaves every pre-existing digest untouched until used.
+            if f.metadata.get("digest_omit_default") and v == f.default:
+                continue
+            out[f.name] = canonical_value(v)
         return out
     if isinstance(value, dict):
         return {str(k): canonical_value(v) for k, v in sorted(value.items())}

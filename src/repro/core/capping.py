@@ -18,6 +18,7 @@ interface the real tool uses.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..config import ControllerConfig
@@ -107,7 +108,10 @@ class CapActuator:
         if not self.just_reset:
             return False
         self.just_reset = False
-        if package_power_w < self.cap_w:
+        # NaN power (a dropped meter read) must not tighten the cap;
+        # the comparison below would be False for NaN anyway, but be
+        # explicit — this is a hardware write gated on telemetry.
+        if math.isfinite(package_power_w) and package_power_w < self.cap_w:
             cap_uw = watts_to_uw(self.cap_w)
             self.zone.set_both_limits_uw(cap_uw, cap_uw)
             return True

@@ -119,6 +119,20 @@ class DUF(Controller):
         ctx.uncore.reset()
 
     def tick(self, now_s: float, m: Measurement) -> None:
+        if not m.finite:
+            # Defence in depth: the runtime withholds non-finite
+            # samples, but a NaN must never reach the trackers — it
+            # would poison every later comparison.  Hold everything.
+            self.log(
+                TickLog(
+                    time_s=now_s,
+                    cap_w=self.ctx.cap.cap_w,
+                    uncore_hz=self.ctx.uncore.pinned_freq_hz,
+                    phase_change=False,
+                    uncore_action="skip",
+                )
+            )
+            return
         changed = self.detector.update(m.operational_intensity, m.flops_per_s)
         if changed:
             self.engine.on_phase_change(m)

@@ -86,6 +86,12 @@ class DUFP(Controller):
 
     def tick(self, now_s: float, m: Measurement) -> None:
         ctx = self.ctx
+        if not m.finite:
+            # Defence in depth: the runtime withholds non-finite
+            # samples, but a NaN must never reach the trackers or the
+            # cap comparisons.  Hold both actuators.
+            self._log(now_s, False, "skip", "skip")
+            return
         oi = m.operational_intensity
         changed = self.detector.update(oi, m.flops_per_s)
 

@@ -5,26 +5,43 @@ The paper starts "one instance of DUFP on each user-specified socket".
 socket's context (PAPI meter, powercap zone, MSR tools, actuators),
 starts the meters, and fires every controller's :meth:`tick` each time
 a measurement interval elapses in simulated time.
+
+The runtime is also the first line of defence against broken
+telemetry.  A meter read that raises (an ``rdmsr`` failure) or returns
+non-finite rates (a power-meter dropout) never reaches a controller
+raw: the runtime holds the socket's last good measurement for a
+bounded number of consecutive failures, and past that bound performs a
+*safe reset* — power cap back to its default (TDP), uncore back to its
+maximum — so a blind controller can never leave stale throttling
+programmed into the hardware.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..config import ControllerConfig
-from ..errors import ControllerError
+from ..errors import ControllerError, HardwareError, PAPIError
 from ..hardware.processor import SimulatedProcessor
 from ..interfaces.cpufreq import CpufreqView
 from ..interfaces.msr_tools import MSRTools
 from ..interfaces.powercap import PowercapTree, PowercapZone
-from ..papi.highlevel import IntervalMeter
+from ..papi.highlevel import IntervalMeter, Measurement
 from .base import Controller
 from .capping import CapActuator
 from .uncore_actuator import UncoreActuator
 
-__all__ = ["SocketContext", "ControllerRuntime"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.faults import FaultInjector
+
+__all__ = ["SocketContext", "ControllerRuntime", "MAX_CONSECUTIVE_FAILURES"]
+
+#: Consecutive failed samples a socket tolerates (holding the last good
+#: measurement) before the runtime performs a safe reset.
+MAX_CONSECUTIVE_FAILURES = 5
 
 
 @dataclass
@@ -50,9 +67,22 @@ class ControllerRuntime:
     rng: np.random.Generator | None = None
     counter_noise: float = 0.0
     power_noise: float = 0.0
+    #: Optional fault injector shared with the meters and the RAPL
+    #: models; also the source of missed/jittered tick faults.
+    injector: "FaultInjector | None" = None
+    #: Failure bound before the safe reset fires, per socket.
+    max_consecutive_failures: int = MAX_CONSECUTIVE_FAILURES
     contexts: list[SocketContext] = field(init=False)
     _next_tick_s: float = field(init=False)
     _started: bool = field(init=False, default=False)
+    #: Extra seconds (jitter, missed ticks) the *next* fired tick's
+    #: interval must account for on top of the nominal interval.
+    _dt_extra_s: float = field(init=False, default=0.0)
+    #: Per-socket interval debt from reads that failed before the
+    #: counters were consumed (the next good read spans them too).
+    _dt_debt: list[float] = field(init=False)
+    _last_good: list[Measurement | None] = field(init=False)
+    _failures: list[int] = field(init=False)
 
     def __post_init__(self) -> None:
         if not self.processors:
@@ -62,6 +92,8 @@ class ControllerRuntime:
                 "need exactly one controller per socket "
                 f"({len(self.processors)} sockets, {len(self.controllers)} controllers)"
             )
+        if self.max_consecutive_failures < 1:
+            raise ControllerError("max_consecutive_failures must be at least 1")
         self.cfg.validate()
         tree = PowercapTree([p.rapl for p in self.processors])
         self.contexts = []
@@ -76,6 +108,7 @@ class ControllerRuntime:
                     rng=self.rng,
                     counter_noise=self.counter_noise,
                     power_noise=self.power_noise,
+                    faults=self.injector,
                 ),
                 msr=msr,
                 powercap=zone,
@@ -86,6 +119,10 @@ class ControllerRuntime:
             self.contexts.append(ctx)
             ctrl.attach(ctx)
         self._next_tick_s = self.cfg.interval_s
+        n = len(self.processors)
+        self._dt_debt = [0.0] * n
+        self._last_good = [None] * n
+        self._failures = [0] * n
 
     def start(self) -> None:
         """Arm the meters; call once before stepping simulated time."""
@@ -101,15 +138,79 @@ class ControllerRuntime:
         The engine calls this after every simulation step.  A tick
         consumes exactly one measurement interval; if the engine's step
         overshoots the boundary slightly the interval stretches with it
-        (real timers drift the same way).
+        (real timers drift the same way).  Injected tick faults extend
+        the same mechanism: a missed tick folds its interval into the
+        next fired tick's, a jittered tick schedules the next one late.
         """
         if not self._started:
             raise ControllerError("runtime not started")
         if now_s + 1e-12 < self._next_tick_s:
             return False
-        dt = self.cfg.interval_s + (now_s - self._next_tick_s)
-        for ctx, ctrl in zip(self.contexts, self.controllers):
-            m = ctx.meter.sample(dt)
-            ctrl.tick(now_s, m)
-        self._next_tick_s = now_s + self.cfg.interval_s
+        if self.injector is not None and self.injector.tick_missed():
+            # The timer never fired: no socket samples or acts, the
+            # meters keep accumulating, and the skipped span is folded
+            # into the next tick's interval.
+            self._dt_extra_s += self.cfg.interval_s + (now_s - self._next_tick_s)
+            self._next_tick_s = now_s + self.cfg.interval_s
+            return False
+        dt = self.cfg.interval_s + self._dt_extra_s + (now_s - self._next_tick_s)
+        self._dt_extra_s = 0.0
+        for sid, (ctx, ctrl) in enumerate(zip(self.contexts, self.controllers)):
+            m = self._sample(sid, ctx, dt)
+            if m is not None:
+                ctrl.tick(now_s, m)
+        jitter_s = 0.0
+        if self.injector is not None:
+            jitter_s = self.injector.tick_jitter_s()
+            self._dt_extra_s = jitter_s
+        self._next_tick_s = now_s + self.cfg.interval_s + jitter_s
         return True
+
+    # -- degraded-telemetry handling ---------------------------------------------
+
+    def _sample(self, sid: int, ctx: SocketContext, dt: float) -> Measurement | None:
+        """One socket's measurement, or a degraded substitute.
+
+        Returns ``None`` when the controller should skip this tick
+        entirely (no good data yet, or a safe reset just fired).
+        """
+        try:
+            m = ctx.meter.sample(dt + self._dt_debt[sid])
+        except (HardwareError, PAPIError):
+            # Read failed before the counters were consumed: they keep
+            # accumulating, so the next good read must span this
+            # interval too.
+            self._dt_debt[sid] += dt
+            return self._degraded(sid, ctx)
+        self._dt_debt[sid] = 0.0
+        if not m.finite:
+            # The counters were consumed but the values are unusable
+            # (power-meter dropout): no debt, but no fresh data either.
+            return self._degraded(sid, ctx)
+        self._failures[sid] = 0
+        self._last_good[sid] = m
+        return m
+
+    def _degraded(self, sid: int, ctx: SocketContext) -> Measurement | None:
+        self._failures[sid] += 1
+        if self._failures[sid] >= self.max_consecutive_failures:
+            self._safe_reset(sid, ctx)
+            return None
+        # Hold the last good sample so the controller keeps a coherent
+        # (if stale) view; before any good sample exists, skip the tick.
+        return self._last_good[sid]
+
+    def _safe_reset(self, sid: int, ctx: SocketContext) -> None:
+        """Telemetry is gone: return the socket to its safe operating
+        point (cap at TDP, uncore unthrottled) rather than leave stale
+        throttling programmed by a now-blind controller."""
+        ctx.cap.reset()
+        ctx.uncore.reset()
+        self._failures[sid] = 0
+        self._last_good[sid] = None
+        if self.injector is not None:
+            self.injector.note(sid, "safe_reset", "cap->default uncore->max")
+
+    def failure_count(self, socket_id: int) -> int:
+        """Current consecutive-failure count of one socket (for tests)."""
+        return self._failures[socket_id]

@@ -57,6 +57,10 @@ class SimulationError(ReproError):
     """The simulation engine reached an invalid state."""
 
 
+class FaultInjectionError(SimulationError):
+    """A fault-injection plan or injector was malformed or misused."""
+
+
 class ControllerError(ReproError):
     """A runtime controller (DUF/DUFP/baseline) was misused."""
 

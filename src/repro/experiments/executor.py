@@ -36,6 +36,7 @@ from ..config import (
 )
 from ..core.registry import PolicySpec, as_spec, policy_names
 from ..errors import ExperimentError
+from ..sim.faults import FaultPlan
 from .cache import CACHE_SCHEMA, ResultCache
 from .protocol import ProtocolResult, run_protocol
 
@@ -74,12 +75,24 @@ class RunSpec:
     socket: SocketConfig | None = None
     socket_count: int = 1
     record_trace: bool = False
+    #: Optional fault plan applied to every run of the cell.  Part of
+    #: the content address — any fault parameter change invalidates
+    #: cached results — but omitted from the digest while ``None``
+    #: (``digest_omit_default``), so fault-free specs keep the exact
+    #: digests they had before fault injection existed.
+    faults: FaultPlan | None = field(
+        default=None, metadata={"digest_omit_default": True}
+    )
     label: str = ""
 
     def __post_init__(self) -> None:
         # Coerce policy-id strings (including "name:key=val,...") to a
         # registry spec; unknown names fail fast, at submission time.
         object.__setattr__(self, "controller", as_spec(self.controller))
+        # An all-zero plan is contractually identical to no plan;
+        # normalise here so the two also share one digest.
+        if self.faults is not None and not self.faults.active:
+            object.__setattr__(self, "faults", None)
 
     def validate(self) -> None:
         if self.controller.name not in policy_names():
@@ -89,6 +102,8 @@ class RunSpec:
             )
         if self.runs < 1:
             raise ExperimentError("RunSpec.runs must be at least 1")
+        if self.faults is not None:
+            self.faults.validate()
 
     @property
     def display(self) -> str:
@@ -140,6 +155,7 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
         socket_count=spec.socket_count,
         record_trace=spec.record_trace,
         socket=spec.socket,
+        faults=spec.faults,
     )
 
 

@@ -24,6 +24,7 @@ from ..config import (
 from ..core.base import Controller
 from ..core.registry import PolicySpec, as_spec
 from ..errors import ExperimentError
+from ..sim.faults import FaultPlan
 from ..sim.machine import SimulatedMachine
 from ..sim.result import RunResult
 from ..sim.run import run_application
@@ -88,6 +89,7 @@ def run_protocol(
     record_trace: bool = False,
     socket: SocketConfig | None = None,
     trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
 ) -> ProtocolResult:
     """Execute ``runs`` seeded repetitions of one configuration.
 
@@ -104,7 +106,10 @@ def run_protocol(
     machine is built from it for every run — machines are stateful).
     ``trace_sink`` is attached to the *last* run — the run whose trace
     the protocol has always kept — replacing the forced in-memory
-    recording, so streamed protocols stay O(1) in RAM.
+    recording, so streamed protocols stay O(1) in RAM.  ``faults``
+    applies one :class:`~repro.sim.faults.FaultPlan` to every run; each
+    run's injector draws from its own per-run seed, so repetitions see
+    independent fault realisations of the same plan.
     """
     if runs < 1:
         raise ExperimentError("need at least one run")
@@ -136,6 +141,7 @@ def run_protocol(
             record_trace=record_trace
             or (trace_sink is None and r == runs - 1),
             trace_sink=trace_sink if r == runs - 1 else None,
+            faults=faults,
         )
         result.times_s.append(run.execution_time_s)
         result.package_power_w.append(run.avg_package_power_w)

@@ -23,6 +23,7 @@ from ..config import ControllerConfig, EngineConfig, NoiseConfig, with_slowdown
 from ..analysis.tables import format_table
 from ..core.registry import PolicySpec, as_spec
 from ..errors import ExperimentError
+from ..sim.faults import FaultPlan
 from ..workloads.catalog import application_names
 from .cache import ResultCache
 from .executor import ExecutionSummary, RunSpec, cell_seed, run_specs
@@ -107,6 +108,7 @@ def sweep_specs(
     noise: NoiseConfig | None = None,
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
+    faults: FaultPlan | None = None,
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
 
@@ -122,6 +124,10 @@ def sweep_specs(
     an app's default-configuration baseline, a tuple the comparison
     cell it belongs to.  Exposed separately from :func:`run_sweep` so
     callers can inspect, shard or pre-warm the grid.
+
+    ``faults`` applies one :class:`~repro.sim.faults.FaultPlan` to
+    every cell of the grid (baselines included, so comparisons stay
+    apples-to-apples); it folds into each cell's cache digest.
     """
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
@@ -146,6 +152,7 @@ def sweep_specs(
                 app_scale=app_scale,
                 noise=noise,
                 engine_cfg=engine_cfg,
+                faults=faults,
                 label=f"{app_name}/default",
             )
         )
@@ -163,6 +170,7 @@ def sweep_specs(
                         app_scale=app_scale,
                         noise=noise,
                         engine_cfg=engine_cfg,
+                        faults=faults,
                         label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
                 )
@@ -180,6 +188,7 @@ def run_sweep(
     noise: NoiseConfig | None = None,
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
+    faults: FaultPlan | None = None,
     workers: int = 1,
     cache: ResultCache | str | None = None,
 ) -> SweepResult:
@@ -200,6 +209,7 @@ def run_sweep(
         noise=noise,
         engine_cfg=engine_cfg,
         app_scale=app_scale,
+        faults=faults,
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..config import RAPLConfig
 from ..errors import RAPLError
@@ -94,6 +95,13 @@ class RAPLPackage:
     #: Pending limit write: (time_due_s, pl1, pl2).
     _pending: tuple[float, PowerLimit, PowerLimit] | None = None
     _now_s: float = 0.0
+    #: Optional fault hook consulted on every limit write; returns
+    #: ``(dropped, extra_delay_s)``.  A dropped write is silently lost
+    #: — the firmware never latches the new limits, reproducing the
+    #: paper's "the cap did not latch in time" failure — and a positive
+    #: extra delay stretches this write's actuation latency.  ``None``
+    #: (the default) is the fault-free fast path.
+    latch_fault: Callable[[], tuple[bool, float]] | None = None
 
     def __post_init__(self) -> None:
         self.cfg.validate()
@@ -122,9 +130,18 @@ class RAPLPackage:
                 raise RAPLError(f"power limit {w!r} W outside accepted range")
         if pl1_w > pl2_w:
             raise RAPLError(f"PL1 ({pl1_w} W) must not exceed PL2 ({pl2_w} W)")
+        extra_delay_s = 0.0
+        if self.latch_fault is not None:
+            dropped, extra_delay_s = self.latch_fault()
+            if dropped:
+                return
         new_pl1 = PowerLimit(pl1_w, pl1_window_s or self.pl1.window_s)
         new_pl2 = PowerLimit(pl2_w, pl2_window_s or self.pl2.window_s)
-        self._pending = (self._now_s + self.cfg.actuation_delay_s, new_pl1, new_pl2)
+        self._pending = (
+            self._now_s + self.cfg.actuation_delay_s + extra_delay_s,
+            new_pl1,
+            new_pl2,
+        )
 
     def reset_limits(self) -> None:
         """Restore both constraints to their architecture defaults."""

@@ -13,15 +13,20 @@ from a seeded generator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import PAPIError
+from ..errors import MSRError, PAPIError
 from ..hardware.processor import SimulatedProcessor
 from .components import bind_components
 from .events import CACHE_LINE_BYTES
 from .eventset import EventSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.faults import FaultInjector
 
 __all__ = ["Measurement", "IntervalMeter"]
 
@@ -52,6 +57,24 @@ class Measurement:
             return float("inf")
         return self.flops_per_s / self.bytes_per_s
 
+    @property
+    def finite(self) -> bool:
+        """True when every rate is a finite number.
+
+        A dropped power-meter read (or any other telemetry fault)
+        surfaces as NaN here; the controller runtime checks this before
+        letting a controller act on the sample.
+        """
+        return all(
+            math.isfinite(v)
+            for v in (
+                self.flops_per_s,
+                self.bytes_per_s,
+                self.package_power_w,
+                self.dram_power_w,
+            )
+        )
+
 
 @dataclass
 class IntervalMeter:
@@ -62,8 +85,12 @@ class IntervalMeter:
     rng: np.random.Generator | None = None
     counter_noise: float = 0.0
     power_noise: float = 0.0
+    #: Optional fault injector; ``None`` keeps the fault-free fast path
+    #: (no extra draws, no extra branches reachable).
+    faults: "FaultInjector | None" = None
     _events: EventSet = field(init=False)
     _started: bool = field(init=False, default=False)
+    _last: Measurement | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.counter_noise < 0 or self.power_noise < 0:
@@ -84,20 +111,54 @@ class IntervalMeter:
         self._started = True
 
     def sample(self, dt_s: float) -> Measurement:
-        """Read the interval that just elapsed and reset for the next."""
+        """Read the interval that just elapsed and reset for the next.
+
+        Fault channels (when an injector is attached) perturb the read
+        exactly where real telemetry breaks: an injected ``rdmsr``
+        failure raises *before* the counters are consumed (they keep
+        accumulating, like a missed read), a stuck read returns the
+        previous interval's values verbatim, a rollover collapses the
+        interval's energy to zero (finite but wrong), and a power-meter
+        dropout yields NaN power for the runtime to catch.
+        """
         if not self._started:
             raise PAPIError("IntervalMeter.sample before start()")
         if dt_s <= 0:
             raise PAPIError("sample: non-positive interval")
+        inj = self.faults
+        if inj is not None and inj.msr_read_fails(self.socket_id):
+            raise MSRError(
+                f"injected rdmsr failure on socket {self.socket_id}"
+            )
         flops, cas, pkg_nj, dram_nj = self._events.read()
         self._events.reset()
-        return Measurement(
+        dropout = False
+        if inj is not None:
+            if self._last is not None and inj.counter_stuck(self.socket_id):
+                return self._last
+            if inj.counter_rollover(self.socket_id):
+                pkg_nj = dram_nj = 0
+            dropout = inj.power_dropout(self.socket_id)
+        # Draw order (flops, bytes, pkg, dram) matches the historic
+        # argument-evaluation order: the fault-free noise stream is
+        # bit-for-bit unchanged.
+        flops_v = self._noisy(flops / dt_s, self.counter_noise)
+        bytes_v = self._noisy(cas * CACHE_LINE_BYTES / dt_s, self.counter_noise)
+        if dropout:
+            pkg_w = dram_w = float("nan")
+        else:
+            pkg_w = self._noisy(pkg_nj * 1e-9 / dt_s, self.power_noise)
+            dram_w = self._noisy(dram_nj * 1e-9 / dt_s, self.power_noise)
+        m = Measurement(
             dt_s=dt_s,
-            flops_per_s=self._noisy(flops / dt_s, self.counter_noise),
-            bytes_per_s=self._noisy(cas * CACHE_LINE_BYTES / dt_s, self.counter_noise),
-            package_power_w=self._noisy(pkg_nj * 1e-9 / dt_s, self.power_noise),
-            dram_power_w=self._noisy(dram_nj * 1e-9 / dt_s, self.power_noise),
+            flops_per_s=flops_v,
+            bytes_per_s=bytes_v,
+            package_power_w=pkg_w,
+            dram_power_w=dram_w,
         )
+        if m.finite:
+            self._last = m
+        return m
 
     def _noisy(self, value: float, sigma: float) -> float:
         if sigma <= 0.0 or self.rng is None or value == 0.0:

@@ -3,6 +3,7 @@
 from .machine import SimulatedMachine, yeti_machine
 from .result import RunResult, TraceSample, PhaseSpan, SocketResult
 from .engine import SimulationEngine
+from .faults import FaultEvent, FaultInjector, FaultPlan, parse_fault_plan
 from .run import run_application
 from .trace import (
     TraceSink,
@@ -28,6 +29,10 @@ __all__ = [
     "PhaseSpan",
     "SocketResult",
     "SimulationEngine",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "parse_fault_plan",
     "run_application",
     "TraceSink",
     "InMemoryTraceSink",

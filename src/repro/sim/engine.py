@@ -25,6 +25,7 @@ from ..core.base import Controller
 from ..core.runtime import ControllerRuntime
 from ..errors import SimulationError
 from ..workloads.application import Application
+from .faults import FaultInjector, FaultPlan
 from .machine import SimulatedMachine
 from .result import PhaseSpan, RunResult, SocketResult, TraceSample
 from .trace import InMemoryTraceSink, TraceSink
@@ -64,10 +65,16 @@ class SimulationEngine:
     #: ``record_trace=True`` means an in-memory sink (classic
     #: behaviour); ``None`` with ``record_trace=False`` records nothing.
     trace_sink: TraceSink | None = None
+    #: Optional fault plan.  ``None`` (or an all-zero plan) keeps the
+    #: fault-free fast path: no injector is built and every code path
+    #: is bit-for-bit the pre-fault-injection behaviour.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.engine_cfg.validate()
         self.noise.validate()
+        if self.faults is not None:
+            self.faults.validate()
         if len(self.controllers) != self.machine.socket_count:
             raise SimulationError(
                 "one controller per socket required "
@@ -101,6 +108,18 @@ class SimulationEngine:
         socket_apps = [
             app.jittered(rng, self.noise.duration_jitter) for app in base_apps
         ]
+        sink = self.trace_sink
+        if sink is None and self.record_trace:
+            sink = InMemoryTraceSink()
+        injector: FaultInjector | None = None
+        if self.faults is not None and self.faults.active:
+            injector = FaultInjector(
+                self.faults,
+                seed=self.seed if self.seed is not None else self.noise.seed,
+                emit=sink.record_event if sink is not None else None,
+            )
+            for sid, proc in enumerate(self.machine.processors):
+                proc.rapl.latch_fault = injector.latch_port(sid)
         runtime = ControllerRuntime(
             processors=self.machine.processors,
             controllers=self.controllers,
@@ -108,13 +127,11 @@ class SimulationEngine:
             rng=rng,
             counter_noise=self.noise.counter_noise,
             power_noise=self.noise.power_noise,
+            injector=injector,
         )
         runtime.start()
 
         progress = [_SocketProgress() for _ in range(self.machine.socket_count)]
-        sink = self.trace_sink
-        if sink is None and self.record_trace:
-            sink = InMemoryTraceSink()
         now = 0.0
         dt = self.engine_cfg.dt_s
 
@@ -148,6 +165,8 @@ class SimulationEngine:
                             ),
                         )
                 now += dt
+                if injector is not None:
+                    injector.advance(now)
                 runtime.on_time(now)
         finally:
             if sink is not None:
@@ -175,6 +194,7 @@ class SimulationEngine:
             app_name=app_name,
             controller_name=self.controllers[0].name,
             sockets=sockets,
+            fault_events=list(injector.events) if injector is not None else [],
         )
 
     # -- one socket, one macro step ------------------------------------------------

@@ -14,8 +14,9 @@ import io
 from typing import IO
 
 from ..errors import SimulationError
+from .faults import NODE_WIDE, FaultEvent
 from .result import RunResult, SocketResult
-from .trace import jsonl_sample_line
+from .trace import jsonl_event_line, jsonl_sample_line
 
 __all__ = [
     "trace_to_csv",
@@ -71,12 +72,20 @@ def write_trace_csv(result: RunResult, path: str, socket_id: int = 0) -> int:
         return trace_to_csv(result.socket(socket_id), f)
 
 
-def trace_to_jsonl(socket: SocketResult, stream: IO[str]) -> int:
+def trace_to_jsonl(
+    socket: SocketResult,
+    stream: IO[str],
+    events: "list[FaultEvent] | None" = None,
+) -> int:
     """Write one socket's trace as JSONL; returns the line count.
 
-    Uses the same encoder as the streaming JSONL sink
-    (:func:`repro.sim.trace.jsonl_sample_line`), so serialising an
-    in-memory trace is byte-identical to having streamed the run.
+    Uses the same encoders as the streaming JSONL sink
+    (:func:`repro.sim.trace.jsonl_sample_line` /
+    :func:`repro.sim.trace.jsonl_event_line`), so serialising an
+    in-memory trace is byte-identical to having streamed the run:
+    samples first, then ``events`` (if given) as one trailing block —
+    the same layout :class:`~repro.sim.trace.StreamingTraceSink`
+    produces.
     """
     if not socket.trace:
         raise SimulationError("run recorded no trace (record_trace=False?)")
@@ -84,18 +93,34 @@ def trace_to_jsonl(socket: SocketResult, stream: IO[str]) -> int:
     for s in socket.trace:
         stream.write(jsonl_sample_line(socket.socket_id, s))
         lines += 1
+    for event in events or ():
+        stream.write(jsonl_event_line(event))
+        lines += 1
     return lines
 
 
 def write_trace_jsonl(result: RunResult, path: str, socket_id: int = 0) -> int:
-    """Write a socket's trace to ``path`` as JSONL; returns the line count."""
+    """Write a socket's trace to ``path`` as JSONL; returns the line count.
+
+    Fault events concerning the socket (and node-wide ones) are
+    appended after the samples, mirroring the streamed-file layout.
+    """
+    events = [
+        e
+        for e in result.fault_events
+        if e.socket_id in (socket_id, NODE_WIDE)
+    ]
     with open(path, "w") as f:
-        return trace_to_jsonl(result.socket(socket_id), f)
+        return trace_to_jsonl(result.socket(socket_id), f, events=events)
 
 
 def run_summary(result: RunResult) -> dict:
-    """A JSON-serialisable summary of one run."""
-    return {
+    """A JSON-serialisable summary of one run.
+
+    Fault-injected runs gain a ``fault_events`` list; fault-free runs
+    keep the exact historic key set.
+    """
+    summary = {
         "application": result.app_name,
         "controller": result.controller_name,
         "execution_time_s": result.execution_time_s,
@@ -121,6 +146,17 @@ def run_summary(result: RunResult) -> dict:
             for s in result.sockets
         ],
     }
+    if result.fault_events:
+        summary["fault_events"] = [
+            {
+                "time_s": e.time_s,
+                "socket_id": e.socket_id,
+                "channel": e.channel,
+                "detail": e.detail,
+            }
+            for e in result.fault_events
+        ]
+    return summary
 
 
 def write_summary_json(result: RunResult, path: str, *, indent: int = 1) -> None:

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultEvent
 
 __all__ = ["TraceSample", "PhaseSpan", "SocketResult", "RunResult"]
 
@@ -106,6 +110,9 @@ class RunResult:
     app_name: str
     controller_name: str
     sockets: list[SocketResult]
+    #: Every injected fault that fired during the run, in order
+    #: (empty for runs without a fault plan).
+    fault_events: "list[FaultEvent]" = field(default_factory=list)
 
     @property
     def execution_time_s(self) -> float:

@@ -8,6 +8,7 @@ from ..config import ControllerConfig, EngineConfig, NoiseConfig
 from ..core.base import Controller
 from ..workloads.application import Application
 from .engine import SimulationEngine
+from .faults import FaultPlan
 from .machine import SimulatedMachine, yeti_machine
 from .trace import TraceSink
 
@@ -26,6 +27,7 @@ def run_application(
     seed: int | None = None,
     record_trace: bool = True,
     trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
 ):
     """Simulate ``application`` with a fresh controller per socket.
 
@@ -35,7 +37,9 @@ def run_application(
     node).  A fresh machine is built unless one is supplied (machines
     are stateful and must not be reused across runs).  ``trace_sink``
     overrides the default in-memory trace recording (see
-    :mod:`repro.sim.trace`).
+    :mod:`repro.sim.trace`).  ``faults`` injects a seeded
+    :class:`~repro.sim.faults.FaultPlan`; ``None`` (or an all-zero
+    plan) is the byte-identical fault-free path.
     """
     if isinstance(application, list) and machine is None and socket_count == 1:
         socket_count = len(application)
@@ -51,5 +55,6 @@ def run_application(
         seed=seed,
         record_trace=record_trace,
         trace_sink=trace_sink,
+        faults=faults,
     )
     return engine.run()

@@ -23,10 +23,13 @@ import csv
 import json
 import os
 from collections import deque
-from typing import IO
+from typing import IO, TYPE_CHECKING
 
 from ..errors import SimulationError
 from .result import TraceSample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultEvent
 
 __all__ = [
     "TraceSink",
@@ -35,6 +38,7 @@ __all__ = [
     "StreamingTraceSink",
     "CompositeTraceSink",
     "jsonl_sample_line",
+    "jsonl_event_line",
     "csv_sample_row",
     "CSV_HEADER",
 ]
@@ -76,6 +80,23 @@ def jsonl_sample_line(socket_id: int, sample: TraceSample) -> str:
     return json.dumps(record, separators=(",", ":")) + "\n"
 
 
+def jsonl_event_line(event: "FaultEvent") -> str:
+    """One JSONL record (with trailing newline) for one fault event.
+
+    Event records carry an ``"event"`` key (sample records never do),
+    so mixed trace files stay trivially splittable.  Like
+    :func:`jsonl_sample_line`, this is the single encoder shared by the
+    streaming sink and the exporter, keeping the two byte-identical.
+    """
+    record = {
+        "event": event.channel,
+        "time_s": event.time_s,
+        "socket_id": event.socket_id,
+        "detail": event.detail,
+    }
+    return json.dumps(record, separators=(",", ":")) + "\n"
+
+
 def csv_sample_row(socket_id: int, sample: TraceSample) -> list[str]:
     """One formatted CSV row for one trace sample (see ``CSV_HEADER``)."""
     return [
@@ -107,6 +128,11 @@ class TraceSink:
     def record(self, socket_id: int, sample: TraceSample) -> None:
         """One engine-step sample of one socket."""
 
+    def record_event(self, socket_id: int, event: "FaultEvent") -> None:
+        """One injected fault event (``socket_id`` is ``-1`` for
+        node-wide faults).  Only fault-injected runs ever call this, so
+        sinks on the fault-free path behave exactly as before."""
+
     def close(self) -> None:
         """Run finished (or aborted); release any resources."""
 
@@ -118,24 +144,38 @@ class TraceSink:
         """
         return []
 
+    def events(self) -> "list[FaultEvent]":
+        """Fault events this sink retained, in emission order."""
+        return []
+
 
 class InMemoryTraceSink(TraceSink):
     """Full per-socket sample lists in RAM (the classic behaviour)."""
 
     def __init__(self) -> None:
         self._traces: list[list[TraceSample]] = []
+        self._events: "list[FaultEvent]" = []
 
     def open(self, socket_count: int) -> None:
         """Allocate one list per socket."""
         self._traces = [[] for _ in range(socket_count)]
+        self._events = []
 
     def record(self, socket_id: int, sample: TraceSample) -> None:
         """Append the sample to its socket's list."""
         self._traces[socket_id].append(sample)
 
+    def record_event(self, socket_id: int, event: "FaultEvent") -> None:
+        """Retain the fault event (events are sparse; one flat list)."""
+        self._events.append(event)
+
     def collected(self, socket_id: int) -> list[TraceSample]:
         """The socket's full sample list (the list itself, not a copy)."""
         return self._traces[socket_id]
+
+    def events(self) -> "list[FaultEvent]":
+        """All retained fault events, in emission order."""
+        return self._events
 
 
 class RingBufferTraceSink(TraceSink):
@@ -146,6 +186,7 @@ class RingBufferTraceSink(TraceSink):
             raise SimulationError("ring buffer capacity must be at least 1")
         self.capacity = capacity
         self._buffers: list[deque[TraceSample]] = []
+        self._events: "deque[FaultEvent]" = deque(maxlen=capacity)
         #: Total samples observed per socket (including evicted ones).
         self.seen: list[int] = []
 
@@ -154,6 +195,7 @@ class RingBufferTraceSink(TraceSink):
         self._buffers = [
             deque(maxlen=self.capacity) for _ in range(socket_count)
         ]
+        self._events = deque(maxlen=self.capacity)
         self.seen = [0] * socket_count
 
     def record(self, socket_id: int, sample: TraceSample) -> None:
@@ -161,9 +203,17 @@ class RingBufferTraceSink(TraceSink):
         self._buffers[socket_id].append(sample)
         self.seen[socket_id] += 1
 
+    def record_event(self, socket_id: int, event: "FaultEvent") -> None:
+        """Keep the event tail, bounded by the same capacity."""
+        self._events.append(event)
+
     def collected(self, socket_id: int) -> list[TraceSample]:
         """The retained tail, oldest first."""
         return list(self._buffers[socket_id])
+
+    def events(self) -> "list[FaultEvent]":
+        """The retained fault-event tail, oldest first."""
+        return list(self._events)
 
 
 class StreamingTraceSink(TraceSink):
@@ -187,6 +237,7 @@ class StreamingTraceSink(TraceSink):
         self._stream: IO[str] | None = None
         self._owns_stream = False
         self._csv_writer = None
+        self._events: "list[FaultEvent]" = []
 
     def open(self, socket_count: int) -> None:
         """Open the target (if a path) and emit the CSV header."""
@@ -209,10 +260,26 @@ class StreamingTraceSink(TraceSink):
             self._csv_writer.writerow(csv_sample_row(socket_id, sample))
         self.rows += 1
 
+    def record_event(self, socket_id: int, event: "FaultEvent") -> None:
+        """Buffer the event; the block is written on :meth:`close`.
+
+        Events go out as one trailing block (not interleaved) so a
+        streamed file stays byte-identical to exporting the same run's
+        in-memory trace followed by its ``fault_events`` — the identity
+        the fault-free path has always guaranteed.  CSV streams carry
+        samples only; events are JSONL-only records.
+        """
+        self._events.append(event)
+
     def close(self) -> None:
-        """Flush, and close the stream if this sink opened it."""
+        """Flush events + stream; close the stream if this sink opened it."""
         if self._stream is None:
             return
+        if self.fmt == "jsonl":
+            for event in self._events:
+                self._stream.write(jsonl_event_line(event))
+                self.rows += 1
+        self._events = []
         self._stream.flush()
         if self._owns_stream:
             self._stream.close()
@@ -243,6 +310,11 @@ class CompositeTraceSink(TraceSink):
         for sink in self.sinks:
             sink.record(socket_id, sample)
 
+    def record_event(self, socket_id: int, event: "FaultEvent") -> None:
+        """Record the fault event into every child."""
+        for sink in self.sinks:
+            sink.record_event(socket_id, event)
+
     def close(self) -> None:
         """Close every child (later children close even if one raises)."""
         errors: list[Exception] = []
@@ -260,4 +332,12 @@ class CompositeTraceSink(TraceSink):
             samples = sink.collected(socket_id)
             if samples:
                 return samples
+        return []
+
+    def events(self) -> "list[FaultEvent]":
+        """The first child's non-empty retained fault events, if any."""
+        for sink in self.sinks:
+            events = sink.events()
+            if events:
+                return events
         return []

@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.core",
     "repro.sim",
+    "repro.sim.faults",
     "repro.sim.hetero",
     "repro.experiments",
     "repro.analysis",

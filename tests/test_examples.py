@@ -58,6 +58,11 @@ class TestExamples:
         assert "coordinated" in out
         assert "Final allocation" in out
 
+    def test_fault_injection(self, capsys):
+        out = run_example("fault_injection.py", ["EP", "7"], capsys)
+        assert "fault events" in out
+        assert "clean" in out and "faulted" in out
+
     def test_cpu_gpu_budget(self, capsys):
         out = run_example("cpu_gpu_budget.py", ["300"], capsys)
         assert "static 50/50" in out
@@ -78,6 +83,7 @@ class TestExamples:
             "budget_sharing.py",
             "cpu_gpu_budget.py",
             "trace_replay.py",
+            "fault_injection.py",
         }
         shipped = {p.name for p in EXAMPLES.glob("*.py")}
         assert shipped == tested, f"untested examples: {shipped - tested}"

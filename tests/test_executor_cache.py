@@ -22,6 +22,7 @@ from repro.experiments.executor import (
     spec_key,
 )
 from repro.experiments.sweep import run_sweep, sweep_specs
+from repro.sim.faults import FaultPlan
 
 
 QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
@@ -87,6 +88,81 @@ class TestSpecKey:
         assert cell_seed("CG", "duf", 10.0) == cell_seed("CG", "duf", 10.0)
         assert cell_seed("CG", "duf", 10.0) != cell_seed("CG", "dufp", 10.0)
         assert cell_seed("CG", "duf", 10.0) != cell_seed("CG", "duf", 20.0)
+
+
+class TestFaultPlanDigest:
+    """The faults field folds into the content address — except when
+    it is contractually a no-op (None or the all-zero plan), where the
+    digest must equal the historic fault-free one."""
+
+    def test_none_and_zero_plan_share_one_digest(self):
+        assert spec_key(small_spec()) == spec_key(
+            small_spec(faults=FaultPlan())
+        )
+
+    def test_zero_plan_normalised_to_none(self):
+        assert small_spec(faults=FaultPlan.zero()).faults is None
+
+    def test_active_plan_changes_the_digest(self):
+        assert spec_key(small_spec()) != spec_key(
+            small_spec(faults=FaultPlan(msr_read_fail_rate=0.01))
+        )
+
+    def test_every_fault_parameter_reaches_the_key(self):
+        base = FaultPlan(msr_read_fail_rate=0.01)
+        variants = [
+            small_spec(faults=replace(base, msr_read_fail_rate=0.02)),
+            small_spec(faults=replace(base, counter_stuck_rate=0.1)),
+            small_spec(faults=replace(base, counter_rollover_rate=0.1)),
+            small_spec(faults=replace(base, power_dropout_rate=0.1)),
+            small_spec(faults=replace(base, cap_latch_fail_rate=0.1)),
+            small_spec(faults=replace(base, latch_delay_rate=0.1)),
+            small_spec(faults=replace(base, latch_delay_extra_s=0.2)),
+            small_spec(faults=replace(base, tick_miss_rate=0.1)),
+            small_spec(faults=replace(base, tick_jitter_rate=0.1)),
+            small_spec(faults=replace(base, tick_jitter_max_s=0.1)),
+            small_spec(faults=replace(base, start_s=1.0)),
+            small_spec(faults=replace(base, stop_s=9.0)),
+            small_spec(faults=replace(base, seed_salt=1)),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(small_spec(faults=base)) not in keys
+        assert len(keys) == len(variants)
+
+    def test_invalid_plan_rejected_at_validate(self):
+        import pytest as _pytest
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            small_spec(faults=FaultPlan(msr_read_fail_rate=2.0)).validate()
+
+
+class TestFaultedExecutionDeterminism:
+    PLAN = FaultPlan(msr_read_fail_rate=0.05, cap_latch_fail_rate=0.1)
+
+    def test_serial_equals_parallel_with_faults(self):
+        specs, _ = sweep_specs(**GRID, faults=self.PLAN)
+        serial, _ = run_specs(specs, workers=1)
+        parallel, _ = run_specs(specs, workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.times_s == p.times_s
+            assert s.total_energy_j == p.total_energy_j
+
+    def test_faulted_cells_cache_and_rerun_warm(self, tmp_path):
+        specs, _ = sweep_specs(**GRID, faults=self.PLAN)
+        cold, cold_summary = run_specs(specs, cache=str(tmp_path))
+        warm, warm_summary = run_specs(specs, cache=str(tmp_path))
+        assert cold_summary.executed == len(specs)
+        assert warm_summary.hits == len(specs)
+        for c, w in zip(cold, warm):
+            assert c.times_s == w.times_s
+
+    def test_faulted_and_fault_free_grids_never_share_cells(self, tmp_path):
+        clean_specs, _ = sweep_specs(**GRID)
+        fault_specs, _ = sweep_specs(**GRID, faults=self.PLAN)
+        run_specs(clean_specs, cache=str(tmp_path))
+        _, summary = run_specs(fault_specs, cache=str(tmp_path))
+        assert summary.hits == 0
 
 
 class TestSpecValidation:

@@ -1,0 +1,426 @@
+"""The fault-injection subsystem: plans, injectors, hardening, traces.
+
+Covers the contract layer by layer: plan validation and the CLI
+grammar, injector determinism and per-channel behaviour, meter/RAPL
+fault semantics, the runtime's degraded-telemetry handling (last-good
+hold, safe reset), event recording across every sink, and the headline
+invariant — a run without a plan is byte-identical to a run with the
+all-zero plan.
+"""
+
+import io
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig, RAPLConfig
+from repro.core.dufp import DUFP
+from repro.errors import ConfigurationError, FaultInjectionError, MSRError
+from repro.hardware.rapl import RAPLPackage
+from repro.sim.export import run_summary, trace_to_jsonl, write_trace_jsonl
+from repro.sim.faults import (
+    FAULT_CHANNELS,
+    NODE_WIDE,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    parse_fault_plan,
+)
+from repro.sim.run import run_application
+from repro.sim.trace import (
+    CompositeTraceSink,
+    InMemoryTraceSink,
+    RingBufferTraceSink,
+    StreamingTraceSink,
+    jsonl_event_line,
+)
+from repro.workloads.catalog import build_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+CFG = ControllerConfig(tolerated_slowdown=0.10)
+
+
+def small_run(faults=None, seed=3, app="CG", scale=0.3, **kwargs):
+    return run_application(
+        build_application(app, scale=scale),
+        lambda: DUFP(CFG),
+        controller_cfg=CFG,
+        noise=QUIET,
+        seed=seed,
+        faults=faults,
+        **kwargs,
+    )
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+        assert not FaultPlan.zero().active
+
+    def test_any_rate_makes_it_active(self):
+        for field_name in FAULT_CHANNELS.values():
+            assert FaultPlan(**{field_name: 0.5}).active, field_name
+
+    def test_negative_rate_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="msr_read_fail_rate"):
+            FaultPlan(msr_read_fail_rate=-0.1).validate()
+
+    def test_rate_above_one_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="cap_latch_fail_rate"):
+            FaultPlan(cap_latch_fail_rate=1.5).validate()
+
+    def test_every_rate_field_is_bounded(self):
+        for field_name in FAULT_CHANNELS.values():
+            with pytest.raises(ConfigurationError, match=field_name):
+                FaultPlan(**{field_name: 2.0}).validate()
+
+    def test_magnitudes_bounded(self):
+        with pytest.raises(ConfigurationError, match="latch_delay_extra_s"):
+            FaultPlan(latch_delay_extra_s=-1.0).validate()
+        with pytest.raises(ConfigurationError, match="tick_jitter_max_s"):
+            FaultPlan(tick_jitter_max_s=100.0).validate()
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(start_s=5.0, stop_s=1.0).validate()
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(start_s=-1.0).validate()
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan(msr_read_fail_rate=0.01, seed_salt=7)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestParseGrammar:
+    def test_channel_aliases(self):
+        plan = parse_fault_plan("msr_fail=0.01,cap_latch_fail=0.05")
+        assert plan.msr_read_fail_rate == 0.01
+        assert plan.cap_latch_fail_rate == 0.05
+
+    def test_full_field_names_accepted(self):
+        plan = parse_fault_plan("msr_read_fail_rate=0.02")
+        assert plan.msr_read_fail_rate == 0.02
+
+    def test_scheduling_and_magnitude_fields(self):
+        plan = parse_fault_plan(
+            "tick_jitter=0.1,tick_jitter_max_s=0.5,start_s=1,stop_s=9,seed_salt=3"
+        )
+        assert plan.tick_jitter_max_s == 0.5
+        assert plan.start_s == 1.0 and plan.stop_s == 9.0
+        assert plan.seed_salt == 3 and isinstance(plan.seed_salt, int)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault channel"):
+            parse_fault_plan("gamma_rays=0.5")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(FaultInjectionError, match="not key=value"):
+            parse_fault_plan("msr_fail")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(FaultInjectionError, match="not a number"):
+            parse_fault_plan("msr_fail=lots")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(FaultInjectionError, match="duplicate"):
+            parse_fault_plan("msr_fail=0.1,msr_read_fail_rate=0.2")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            parse_fault_plan("   ")
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="msr_read_fail_rate"):
+            parse_fault_plan("msr_fail=1.5")
+
+
+class TestInjector:
+    def test_refuses_inactive_plan(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(), seed=1)
+
+    def test_deterministic_per_seed(self):
+        plan = FaultPlan(msr_read_fail_rate=0.5)
+        a = FaultInjector(plan, seed=42)
+        b = FaultInjector(plan, seed=42)
+        draws_a = [a.msr_read_fails(0) for _ in range(100)]
+        draws_b = [b.msr_read_fails(0) for _ in range(100)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    @staticmethod
+    def _stream(plan, seed, n=64):
+        inj = FaultInjector(plan, seed=seed)
+        return tuple(inj.msr_read_fails(0) for _ in range(n))
+
+    def test_seed_changes_the_stream(self):
+        plan = FaultPlan(msr_read_fail_rate=0.5)
+        assert self._stream(plan, 1) != self._stream(plan, 2)
+
+    def test_seed_salt_changes_the_stream(self):
+        base = FaultPlan(msr_read_fail_rate=0.5)
+        assert self._stream(base, 9) != self._stream(
+            replace(base, seed_salt=1), 9
+        )
+
+    def test_outside_window_never_fires_and_draws_nothing(self):
+        plan = FaultPlan(msr_read_fail_rate=1.0, start_s=5.0, stop_s=10.0)
+        inj = FaultInjector(plan, seed=0)
+        inj.advance(1.0)
+        assert not inj.msr_read_fails(0)
+        state_before = inj.rng.bit_generator.state
+        assert not inj.power_dropout(0)
+        assert inj.rng.bit_generator.state == state_before
+        inj.advance(5.0)
+        assert inj.msr_read_fails(0)
+
+    def test_events_recorded_with_time_and_socket(self):
+        plan = FaultPlan(msr_read_fail_rate=1.0)
+        inj = FaultInjector(plan, seed=0)
+        inj.advance(2.5)
+        inj.msr_read_fails(3)
+        assert inj.events == [
+            FaultEvent(time_s=2.5, socket_id=3, channel="msr_fail", detail="")
+        ]
+
+    def test_emit_forwards_to_sink(self):
+        sink = InMemoryTraceSink()
+        sink.open(1)
+        plan = FaultPlan(tick_miss_rate=1.0)
+        inj = FaultInjector(plan, seed=0, emit=sink.record_event)
+        assert inj.tick_missed()
+        assert sink.events()[0].channel == "tick_miss"
+        assert sink.events()[0].socket_id == NODE_WIDE
+
+    def test_latch_port_drop_and_delay(self):
+        drop = FaultInjector(FaultPlan(cap_latch_fail_rate=1.0), seed=0)
+        assert drop.latch_port(0)() == (True, 0.0)
+        delay = FaultInjector(
+            FaultPlan(latch_delay_rate=1.0, latch_delay_extra_s=0.2), seed=0
+        )
+        assert delay.latch_port(0)() == (False, 0.2)
+
+    def test_tick_jitter_bounded(self):
+        inj = FaultInjector(
+            FaultPlan(tick_jitter_rate=1.0, tick_jitter_max_s=0.05), seed=0
+        )
+        for _ in range(50):
+            assert 0.0 <= inj.tick_jitter_s() <= 0.05
+
+    def test_note_consumes_no_randomness(self):
+        inj = FaultInjector(FaultPlan(msr_read_fail_rate=0.5), seed=0)
+        state = inj.rng.bit_generator.state
+        inj.note(0, "safe_reset", "x")
+        assert inj.rng.bit_generator.state == state
+        assert inj.events[-1].channel == "safe_reset"
+
+
+class TestRAPLLatchFaults:
+    def test_dropped_write_never_latches(self):
+        rapl = RAPLPackage(RAPLConfig())
+        rapl.latch_fault = lambda: (True, 0.0)
+        rapl.set_limits(80.0, 80.0)
+        for _ in range(100):
+            rapl.step(0.01, 100.0, 10.0)
+        assert rapl.pl1.limit_w == RAPLConfig().pl1_default_w
+
+    def test_extra_delay_stretches_actuation(self):
+        cfg = RAPLConfig()
+        rapl = RAPLPackage(cfg)
+        rapl.latch_fault = lambda: (False, 0.5)
+        rapl.set_limits(80.0, 80.0)
+        # Past the nominal delay but inside the injected extra: old cap.
+        steps = int(cfg.actuation_delay_s / 0.01) + 2
+        for _ in range(steps):
+            rapl.step(0.01, 100.0, 10.0)
+        assert rapl.pl1.limit_w == cfg.pl1_default_w
+        for _ in range(60):
+            rapl.step(0.01, 100.0, 10.0)
+        assert rapl.pl1.limit_w == 80.0
+
+
+class TestRuntimeHardening:
+    def test_msr_faults_do_not_crash_the_run(self):
+        res = small_run(FaultPlan(msr_read_fail_rate=0.3), app="EP", scale=0.2)
+        assert math.isfinite(res.execution_time_s)
+        assert any(e.channel == "msr_fail" for e in res.fault_events)
+
+    def test_power_dropout_keeps_metrics_finite(self):
+        res = small_run(FaultPlan(power_dropout_rate=0.5), app="EP", scale=0.2)
+        assert math.isfinite(res.execution_time_s)
+        assert math.isfinite(res.total_energy_j)
+
+    def test_total_outage_triggers_safe_reset(self):
+        # Every sample fails: after MAX_CONSECUTIVE_FAILURES the
+        # runtime must reset cap and uncore and log the event.
+        res = small_run(FaultPlan(msr_read_fail_rate=1.0), app="EP", scale=0.2)
+        assert any(e.channel == "safe_reset" for e in res.fault_events)
+        # Safe state: the final trace sample shows the default cap.
+        assert res.socket(0).trace[-1].cap_w == 125.0
+
+    def test_fault_run_matches_fault_free_duration_within_tolerance(self):
+        clean = small_run(None)
+        faulty = small_run(
+            FaultPlan(msr_read_fail_rate=0.01, cap_latch_fail_rate=0.05)
+        )
+        assert faulty.execution_time_s <= clean.execution_time_s * 1.10
+        assert faulty.execution_time_s >= clean.execution_time_s * 0.90
+
+    def test_tick_faults_do_not_stall_the_run(self):
+        res = small_run(
+            FaultPlan(tick_miss_rate=0.2, tick_jitter_rate=0.3),
+            app="EP",
+            scale=0.2,
+        )
+        assert math.isfinite(res.execution_time_s)
+
+    def test_identical_plan_and_seed_reproduce_events(self):
+        plan = FaultPlan(msr_read_fail_rate=0.1, cap_latch_fail_rate=0.2)
+        a = small_run(plan, app="EP", scale=0.2)
+        b = small_run(plan, app="EP", scale=0.2)
+        assert a.fault_events == b.fault_events
+        assert a.execution_time_s == b.execution_time_s
+
+
+class TestZeroCostWhenDisabled:
+    def test_zero_plan_is_byte_identical_to_no_plan(self):
+        clean = small_run(None)
+        zeroed = small_run(FaultPlan.zero())
+        buf_a, buf_b = io.StringIO(), io.StringIO()
+        trace_to_jsonl(clean.socket(0), buf_a)
+        trace_to_jsonl(zeroed.socket(0), buf_b)
+        assert buf_a.getvalue() == buf_b.getvalue()
+        assert clean.execution_time_s == zeroed.execution_time_s
+        assert zeroed.fault_events == []
+
+    def test_zero_plan_with_noise_is_bitwise_identical(self):
+        noisy = NoiseConfig(
+            duration_jitter=0.01, counter_noise=0.01, power_noise=0.01
+        )
+        clean = small_run(None, app="EP", scale=0.2)
+        a = run_application(
+            build_application("EP", scale=0.2),
+            lambda: DUFP(CFG),
+            controller_cfg=CFG,
+            noise=noisy,
+            seed=11,
+        )
+        b = run_application(
+            build_application("EP", scale=0.2),
+            lambda: DUFP(CFG),
+            controller_cfg=CFG,
+            noise=noisy,
+            seed=11,
+            faults=FaultPlan.zero(),
+        )
+        assert a.execution_time_s == b.execution_time_s
+        assert [s.package_power_w for s in a.socket(0).trace] == [
+            s.package_power_w for s in b.socket(0).trace
+        ]
+        del clean
+
+
+class TestEventExport:
+    def test_streamed_equals_exported_with_events(self, tmp_path):
+        plan = FaultPlan(msr_read_fail_rate=0.1, cap_latch_fail_rate=0.2)
+        streamed = tmp_path / "streamed.jsonl"
+        sink = StreamingTraceSink(streamed)
+        mem = InMemoryTraceSink()
+        res = small_run(
+            plan,
+            app="EP",
+            scale=0.2,
+            trace_sink=CompositeTraceSink(sink, mem),
+        )
+        exported = tmp_path / "exported.jsonl"
+        write_trace_jsonl(res, exported)
+        assert streamed.read_bytes() == exported.read_bytes()
+        assert res.fault_events  # the comparison exercised real events
+
+    def test_exported_trace_contains_event_lines(self, tmp_path):
+        res = small_run(FaultPlan(msr_read_fail_rate=0.2), app="EP", scale=0.2)
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl(res, str(path))
+        lines = path.read_text().splitlines()
+        assert any('"event":"msr_fail"' in line for line in lines)
+        # Samples first, events as a trailing block.
+        first_event = next(
+            i for i, line in enumerate(lines) if '"event"' in line
+        )
+        assert all('"event"' in line for line in lines[first_event:])
+
+    def test_ring_buffer_keeps_event_tail(self):
+        sink = RingBufferTraceSink(capacity=3)
+        sink.open(1)
+        for t in range(5):
+            sink.record_event(
+                0, FaultEvent(time_s=float(t), socket_id=0, channel="msr_fail")
+            )
+        assert [e.time_s for e in sink.events()] == [2.0, 3.0, 4.0]
+
+    def test_event_line_shape(self):
+        line = jsonl_event_line(
+            FaultEvent(time_s=1.5, socket_id=-1, channel="tick_miss")
+        )
+        assert (
+            line
+            == '{"event":"tick_miss","time_s":1.5,"socket_id":-1,"detail":""}\n'
+        )
+
+    def test_summary_gains_events_only_when_faulted(self):
+        clean = small_run(None, app="EP", scale=0.2)
+        assert "fault_events" not in run_summary(clean)
+        faulty = small_run(
+            FaultPlan(msr_read_fail_rate=0.3), app="EP", scale=0.2
+        )
+        summary = run_summary(faulty)
+        assert summary["fault_events"]
+        assert summary["fault_events"][0]["channel"] == "msr_fail"
+
+
+class TestMeterFaultSemantics:
+    def _meter(self, plan):
+        from repro.hardware.processor import SimulatedProcessor
+        from repro.config import yeti_socket_config
+        from repro.papi.highlevel import IntervalMeter
+
+        proc = SimulatedProcessor(yeti_socket_config())
+        inj = FaultInjector(plan, seed=0)
+        meter = IntervalMeter(proc, faults=inj)
+        meter.start()
+        return proc, meter, inj
+
+    def test_msr_fail_raises_msr_error(self):
+        proc, meter, _ = self._meter(FaultPlan(msr_read_fail_rate=1.0))
+        proc.step(0.1, None)
+        with pytest.raises(MSRError):
+            meter.sample(0.1)
+
+    def test_stuck_counters_return_previous_sample(self):
+        proc, meter, inj = self._meter(FaultPlan(counter_stuck_rate=1.0))
+        proc.step(0.1, None)
+        first = meter.sample(0.1)  # no previous sample: fault cannot fire
+        proc.step(0.1, None)
+        second = meter.sample(0.1)
+        assert second is first
+        assert any(e.channel == "stuck" for e in inj.events)
+
+    def test_rollover_zeroes_the_interval_energy(self):
+        proc, meter, _ = self._meter(FaultPlan(counter_rollover_rate=1.0))
+        proc.step(0.1, None)
+        m = meter.sample(0.1)
+        assert m.package_power_w == 0.0
+        assert m.dram_power_w == 0.0
+
+    def test_dropout_yields_nan_power_finite_counters(self):
+        proc, meter, _ = self._meter(FaultPlan(power_dropout_rate=1.0))
+        proc.step(0.1, None)
+        m = meter.sample(0.1)
+        assert math.isnan(m.package_power_w)
+        assert math.isnan(m.dram_power_w)
+        assert math.isfinite(m.flops_per_s)
+        assert not m.finite

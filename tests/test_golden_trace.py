@@ -1,0 +1,54 @@
+"""Golden-trace regression: a pinned fault-injected run, byte for byte.
+
+The committed reference (``tests/data/golden_dufp_trace.jsonl``) locks
+down the full stack at once — sample encoding, event encoding, fault
+draw order, the injector's RNG stream, controller decisions and the
+hardening paths they exercise.  An unintentional change to any of them
+shows up as a byte diff here.  Intentional changes regenerate the file:
+
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+"""
+
+import json
+import pathlib
+import sys
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_dufp_trace.jsonl"
+
+# The regeneration script owns the pinned scenario; import it so the
+# test and the regenerator can never drift apart.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "scripts"))
+from regen_golden_trace import golden_run  # noqa: E402
+
+from repro.sim.export import write_trace_jsonl  # noqa: E402
+
+
+def test_golden_trace_is_byte_identical(tmp_path):
+    fresh = tmp_path / "fresh.jsonl"
+    write_trace_jsonl(golden_run(), str(fresh))
+    assert fresh.read_bytes() == GOLDEN.read_bytes(), (
+        "fault-injected DUFP trace diverged from the golden reference; "
+        "if intentional, regenerate with scripts/regen_golden_trace.py"
+    )
+
+
+def test_golden_trace_contains_fault_events():
+    lines = GOLDEN.read_text().splitlines()
+    events = [json.loads(line) for line in lines if '"event"' in line]
+    assert events, "the pinned scenario must actually inject faults"
+    channels = {e["event"] for e in events}
+    assert "cap_latch_fail" in channels
+    # Events form one trailing block after the samples.
+    first_event = next(i for i, line in enumerate(lines) if '"event"' in line)
+    assert all('"event"' in line for line in lines[first_event:])
+    assert all('"event"' not in line for line in lines[:first_event])
+
+
+def test_golden_samples_are_well_formed():
+    for line in GOLDEN.read_text().splitlines():
+        record = json.loads(line)
+        if "event" in record:
+            assert set(record) == {"event", "time_s", "socket_id", "detail"}
+        else:
+            assert record["socket_id"] == 0
+            assert record["time_s"] > 0

@@ -1,0 +1,142 @@
+"""Property-based tests of controller behaviour under arbitrary faults.
+
+For any valid :class:`~repro.sim.faults.FaultPlan` and seed, a run
+must complete with finite metrics, the cap must stay within
+``[floor, default]`` and the uncore within its hardware range — faults
+may degrade efficiency, never safety.  And the all-zero plan must be
+indistinguishable from no plan at all.
+"""
+
+import io
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.dufp import DUFP
+from repro.sim.export import trace_to_jsonl
+from repro.sim.faults import FaultPlan
+from repro.sim.run import run_application
+from repro.workloads.generator import random_application
+
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+rates = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    msr_read_fail_rate=rates,
+    counter_stuck_rate=rates,
+    counter_rollover_rate=rates,
+    power_dropout_rate=rates,
+    cap_latch_fail_rate=rates,
+    latch_delay_rate=rates,
+    latch_delay_extra_s=st.floats(min_value=0.0, max_value=0.5),
+    tick_miss_rate=st.floats(min_value=0.0, max_value=0.8),
+    tick_jitter_rate=rates,
+    tick_jitter_max_s=st.floats(min_value=0.0, max_value=0.1),
+    seed_salt=st.integers(min_value=0, max_value=1_000),
+)
+
+
+def short_app(seed):
+    return random_application(seed, max_phases=4, max_duration_s=0.6)
+
+
+@given(plan=fault_plans, seed=st.integers(min_value=0, max_value=5_000))
+@SLOW
+def test_any_fault_plan_completes_with_finite_metrics(plan, seed):
+    plan.validate()
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    result = run_application(
+        short_app(seed),
+        lambda: DUFP(cfg),
+        controller_cfg=cfg,
+        noise=QUIET,
+        seed=seed,
+        faults=plan,
+    )
+    assert math.isfinite(result.execution_time_s)
+    assert result.execution_time_s > 0
+    assert math.isfinite(result.total_energy_j)
+    assert result.total_energy_j > 0
+    for sample in result.socket(0).trace:
+        assert math.isfinite(sample.package_power_w)
+        assert math.isfinite(sample.cap_w)
+
+
+@given(plan=fault_plans, seed=st.integers(min_value=0, max_value=5_000))
+@SLOW
+def test_cap_and_uncore_stay_in_bounds_under_faults(plan, seed):
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    controllers = []
+
+    def factory():
+        c = DUFP(cfg)
+        controllers.append(c)
+        return c
+
+    run_application(
+        short_app(seed),
+        factory,
+        controller_cfg=cfg,
+        noise=QUIET,
+        seed=seed,
+        faults=plan,
+    )
+    for tick in controllers[0].ticks:
+        assert cfg.cap_floor_w - 1e-9 <= tick.cap_w <= 125.0 + 1e-9
+        assert 1.2e9 - 1 <= tick.uncore_hz <= 2.4e9 + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@SLOW
+def test_all_zero_plan_is_byte_identical_to_no_plan(seed):
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    app = short_app(seed)
+
+    def run(faults):
+        return run_application(
+            app,
+            lambda: DUFP(cfg),
+            controller_cfg=cfg,
+            noise=QUIET,
+            seed=seed,
+            faults=faults,
+        )
+
+    clean, zeroed = run(None), run(FaultPlan.zero())
+    buf_a, buf_b = io.StringIO(), io.StringIO()
+    trace_to_jsonl(clean.socket(0), buf_a)
+    trace_to_jsonl(zeroed.socket(0), buf_b)
+    assert buf_a.getvalue() == buf_b.getvalue()
+    assert clean.execution_time_s == zeroed.execution_time_s
+
+
+@given(plan=fault_plans, seed=st.integers(min_value=0, max_value=5_000))
+@SLOW
+def test_fault_realisations_are_reproducible(plan, seed):
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    app = short_app(seed)
+
+    def run():
+        return run_application(
+            app,
+            lambda: DUFP(cfg),
+            controller_cfg=cfg,
+            noise=QUIET,
+            seed=seed,
+            faults=plan,
+        )
+
+    a, b = run(), run()
+    assert a.execution_time_s == b.execution_time_s
+    assert a.fault_events == b.fault_events
