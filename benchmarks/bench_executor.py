@@ -1,10 +1,11 @@
 """Executor benchmarks: parallel speedup and warm-cache latency.
 
-Times the same reduced sweep grid three ways — serial, process-pool
-parallel, and warm-cache — so the scaling the executor exists for is
-measured, not assumed.  Asserts the two invariants the layer
-guarantees: parallel results are bit-identical to serial, and a warm
-rerun executes zero protocol cells.
+Times the same reduced sweep grid four ways — serial, process-pool
+parallel, single-process batch-engine, and warm-cache — so the
+scaling the executor exists for is measured, not assumed.  Asserts
+the invariants the layer guarantees: parallel and batch results are
+bit-identical to serial, and a warm rerun executes zero protocol
+cells.
 """
 
 from __future__ import annotations
@@ -47,6 +48,18 @@ def test_sweep_parallel_matches_serial(benchmark):
     assert_shape(
         parallel.comparisons == serial.comparisons,
         "parallel sweep is bit-identical to serial",
+    )
+
+
+def test_sweep_batch_engine_matches_serial(benchmark):
+    """The vectorized lockstep path: all grid cells in one batch."""
+    serial = run_sweep(**GRID, workers=1)
+    batch = benchmark.pedantic(
+        lambda: run_sweep(**GRID, engine="batch"), rounds=1, iterations=1
+    )
+    assert_shape(
+        batch.comparisons == serial.comparisons,
+        "batch-engine sweep is numerically identical to serial scalar",
     )
 
 

@@ -4,13 +4,22 @@ These time the substrate itself (steps/second, full-run wall time) so
 regressions in the hot path — the per-step roofline + RAPL loop — are
 visible.  Unlike the figure benches these use pytest-benchmark's
 statistical timing (many rounds of a cheap operation).
+
+The batch-engine scaling curve (``test_batch_run_dufp[N]``) times one
+lockstep batch at widths 1/4/16/64 of the same run; per-run cost
+should *fall* as N grows — that amortisation is the engine's entire
+reason to exist (scripts/bench_baseline.py gates the 64-cell speedup
+in CI; these curves show where it comes from).
 """
+
+import pytest
 
 from repro.config import ControllerConfig, NoiseConfig, yeti_socket_config
 from repro.core.baselines import DefaultController
 from repro.core.dufp import DUFP
 from repro.hardware.processor import PhaseWork, SimulatedProcessor
-from repro.sim.run import run_application
+from repro.sim.batch import run_batch
+from repro.sim.run import build_engine, run_application
 from repro.workloads.catalog import build_application
 
 QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
@@ -56,5 +65,45 @@ def test_full_cg_run_dufp(benchmark):
             app, lambda: DUFP(cfg), controller_cfg=cfg, noise=QUIET, seed=1
         ),
         rounds=3,
+        iterations=1,
+    )
+
+
+def _batch_engines(n):
+    """``n`` independently seeded copies of the DUFP CG run."""
+    app = build_application("CG", scale=0.3)
+    cfg = ControllerConfig(tolerated_slowdown=0.10)
+    return [
+        build_engine(
+            app,
+            lambda: DUFP(cfg),
+            controller_cfg=cfg,
+            noise=QUIET,
+            seed=seed,
+            record_trace=False,
+        )
+        for seed in range(n)
+    ]
+
+
+@pytest.mark.parametrize("n", (1, 4, 16, 64))
+def test_batch_run_dufp(benchmark, n):
+    """Batch-width scaling: wall time per lockstep batch of ``n`` runs.
+
+    Divide by ``n`` (and compare against ``test_full_cg_run_dufp``)
+    for the per-run amortisation curve.
+    """
+    benchmark.pedantic(
+        lambda: run_batch(_batch_engines(n)), rounds=2, iterations=1
+    )
+
+
+def test_batch_chunked_64_by_16(benchmark):
+    """The same 64 runs through ``max_batch=16`` chunks — the memory-
+    bounded path — to keep chunking overhead visible next to the
+    single-batch number."""
+    benchmark.pedantic(
+        lambda: run_batch(_batch_engines(64), max_batch=16),
+        rounds=2,
         iterations=1,
     )

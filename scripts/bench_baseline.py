@@ -1,0 +1,236 @@
+"""Scalar-vs-batch throughput baseline and regression gate.
+
+Times one *locked* 64-cell sweep composition — every cell a full
+application run — through both execution engines and records the
+result in ``BENCH_simulator.json`` at the repository root:
+
+    PYTHONPATH=src python scripts/bench_baseline.py --write   # refresh
+    PYTHONPATH=src python scripts/bench_baseline.py --check   # CI gate
+
+``--check`` re-measures and fails (exit 1) when either
+
+* the batch engine's speedup over scalar drops below ``MIN_SPEEDUP``
+  (3x — the committed baseline is ~5x; the floor absorbs runner
+  noise, not regressions), or
+* fresh scalar throughput falls below ``MIN_SCALAR_RATIO`` (80 %) of
+  the committed baseline — the batch engine must never be paid for by
+  slowing the scalar path down.
+
+The composition is part of the file's contract: changing it requires
+``--write`` and a justified diff.  Timings are min-of-``--reps`` so
+one noisy rep cannot fail the gate; simulated-tick counts come from
+the run results themselves and are engine-independent (the engines
+are numerically identical — see tests/test_batch_equivalence.py).
+
+Absolute ticks/s are not comparable across machines or interpreter
+versions, so the baseline also records a *calibration* probe — a
+fixed pure-Python arithmetic loop timed the same way — and the scalar
+floor compares throughputs normalised by it.  A slower runner slows
+probe and engine alike and passes; only the engine regressing
+*relative to the interpreter* fails.  (The speedup floor is already a
+same-run ratio and needs no normalisation.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import ControllerConfig, EngineConfig, with_slowdown
+from repro.core.registry import as_spec
+from repro.sim.batch import run_batch
+from repro.sim.run import build_engine
+from repro.workloads.catalog import build_application
+
+BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_simulator.json"
+
+#: The locked composition: 8 applications x {duf, dufp} x 4 tolerances
+#: = 64 cells, one full-scale run each, seeds sequential over cells.
+#: (MG is excluded deliberately: its 600 phases make phase-crossing
+#: bookkeeping, not the per-tick physics, the dominant cost.)
+APPS = ("BT", "CG", "EP", "FT", "LU", "UA", "SP", "HPL")
+POLICIES = ("duf", "dufp")
+TOLERANCES_PCT = (0.0, 5.0, 10.0, 20.0)
+APP_SCALE = 1.0
+
+MIN_SPEEDUP = 3.0
+MIN_SCALAR_RATIO = 0.8
+
+
+def calibrate(reps: int = 5, n: int = 2_000_000) -> float:
+    """Interpreter-speed probe: fixed arithmetic loop-ops per second.
+
+    Deliberately plain Python (no numpy) with the mix the scalar
+    engine's hot path is made of — float multiply-add and compare —
+    so machine and interpreter speed changes move probe and engine
+    together.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        acc = 0.0
+        x = 1.000000001
+        for i in range(n):
+            acc += x * i
+            if acc > 1e12:
+                acc *= 0.5
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def build_cells():
+    """The 64 unrun engines of the locked composition, in seed order."""
+    engines = []
+    seed = 0
+    for app_name in APPS:
+        app = build_application(app_name, scale=APP_SCALE)
+        for policy in POLICIES:
+            for tol in TOLERANCES_PCT:
+                cfg = with_slowdown(ControllerConfig(), tol)
+                engines.append(
+                    build_engine(
+                        app,
+                        as_spec(policy).build(cfg),
+                        controller_cfg=cfg,
+                        seed=seed,
+                        record_trace=False,
+                    )
+                )
+                seed += 1
+    return engines
+
+
+def simulated_ticks(results) -> int:
+    """Engine-steps the composition simulates (identical per engine)."""
+    dt = EngineConfig().dt_s
+    return round(
+        sum(s.finish_time_s / dt for r in results for s in r.sockets)
+    )
+
+
+def measure(reps: int) -> dict:
+    """min-of-``reps`` wall clock for both engines over the composition."""
+    scalar_walls, batch_walls = [], []
+    ticks = 0
+    for rep in range(reps):
+        engines = build_cells()
+        t0 = time.perf_counter()
+        results = [e.run() for e in engines]
+        scalar_walls.append(time.perf_counter() - t0)
+        ticks = simulated_ticks(results)
+
+        engines = build_cells()
+        t0 = time.perf_counter()
+        run_batch(engines)
+        batch_walls.append(time.perf_counter() - t0)
+        print(
+            f"rep {rep + 1}/{reps}: scalar {scalar_walls[-1]:.2f} s, "
+            f"batch {batch_walls[-1]:.2f} s "
+            f"({scalar_walls[-1] / batch_walls[-1]:.2f}x)",
+            file=sys.stderr,
+        )
+    scalar_wall, batch_wall = min(scalar_walls), min(batch_walls)
+    return {
+        "schema": 1,
+        "calibration_ops_per_s": round(calibrate(), 1),
+        "composition": {
+            "apps": list(APPS),
+            "policies": list(POLICIES),
+            "tolerances_pct": list(TOLERANCES_PCT),
+            "app_scale": APP_SCALE,
+            "cells": len(APPS) * len(POLICIES) * len(TOLERANCES_PCT),
+        },
+        "reps": reps,
+        "simulated_ticks": ticks,
+        "scalar": {
+            "wall_s": round(scalar_wall, 4),
+            "ticks_per_s": round(ticks / scalar_wall, 1),
+        },
+        "batch": {
+            "wall_s": round(batch_wall, 4),
+            "ticks_per_s": round(ticks / batch_wall, 1),
+        },
+        "speedup": round(scalar_wall / batch_wall, 3),
+    }
+
+
+def check(fresh: dict) -> list[str]:
+    """Gate violations of ``fresh`` against the committed baseline."""
+    if not BASELINE.exists():
+        return [f"no committed baseline at {BASELINE}; run --write first"]
+    committed = json.loads(BASELINE.read_text())
+    problems = []
+    if committed["composition"] != fresh["composition"]:
+        problems.append(
+            "benchmark composition drifted from the committed baseline; "
+            "rerun --write and justify the diff"
+        )
+    if fresh["speedup"] < MIN_SPEEDUP:
+        problems.append(
+            f"batch speedup {fresh['speedup']:.2f}x fell below the "
+            f"{MIN_SPEEDUP:.1f}x floor (committed: "
+            f"{committed['speedup']:.2f}x)"
+        )
+    # Normalise the committed throughput to this machine's speed via
+    # the calibration probe before applying the regression floor.
+    machine = (
+        fresh["calibration_ops_per_s"] / committed["calibration_ops_per_s"]
+    )
+    expected = committed["scalar"]["ticks_per_s"] * machine
+    if fresh["scalar"]["ticks_per_s"] < MIN_SCALAR_RATIO * expected:
+        problems.append(
+            f"scalar throughput {fresh['scalar']['ticks_per_s']:.0f} "
+            f"ticks/s regressed below {MIN_SCALAR_RATIO:.0%} of the "
+            f"committed baseline ({committed['scalar']['ticks_per_s']:.0f} "
+            f"ticks/s, {expected:.0f} after the {machine:.2f}x machine-"
+            f"speed normalisation)"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write", action="store_true", help="record a new baseline"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="gate against the baseline"
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="timing repetitions (default: 5 for --write, 3 for --check)",
+    )
+    args = parser.parse_args()
+
+    reps = args.reps or (5 if args.write else 3)
+    fresh = measure(reps)
+    print(
+        f"scalar {fresh['scalar']['wall_s']:.2f} s "
+        f"({fresh['scalar']['ticks_per_s']:.0f} ticks/s), "
+        f"batch {fresh['batch']['wall_s']:.2f} s "
+        f"({fresh['batch']['ticks_per_s']:.0f} ticks/s), "
+        f"speedup {fresh['speedup']:.2f}x over "
+        f"{fresh['composition']['cells']} cells"
+    )
+    if args.write:
+        BASELINE.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote baseline to {BASELINE}")
+        return 0
+    problems = check(fresh)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("benchmark gate passed")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "(see docs/FAULTS.md)"
                 ),
             )
+            p.add_argument(
+                "--engine",
+                choices=("scalar", "batch"),
+                default="scalar",
+                help=(
+                    "simulation engine: 'batch' advances all cells in "
+                    "vectorized lockstep — identical results, shared "
+                    "cache entries (see docs/BATCHING.md)"
+                ),
+            )
 
     p_list = sub.add_parser("list", help="list applications and experiments")
 
@@ -244,6 +254,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         controllers=controllers,
         app_scale=args.scale,
         faults=parse_fault_plan(args.faults) if args.faults else None,
+        engine=args.engine,
         workers=args.workers,
         cache=args.cache,
     )

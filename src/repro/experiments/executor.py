@@ -47,6 +47,7 @@ __all__ = [
     "cell_seed",
     "spec_key",
     "execute_spec",
+    "build_spec_protocol",
     "run_specs",
 ]
 
@@ -83,6 +84,13 @@ class RunSpec:
     faults: FaultPlan | None = field(
         default=None, metadata={"digest_omit_default": True}
     )
+    #: Execution strategy: ``"scalar"`` (per-tick loop) or ``"batch"``
+    #: (vectorized lockstep, :mod:`repro.sim.batch`).  The two produce
+    #: numerically identical results — the differential test suite
+    #: enforces it — so the engine is *not* part of the content
+    #: address: :func:`spec_key` normalises it away and batch results
+    #: share cache entries with scalar ones.
+    engine: str = field(default="scalar", metadata={"digest_omit_default": True})
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -102,6 +110,10 @@ class RunSpec:
             )
         if self.runs < 1:
             raise ExperimentError("RunSpec.runs must be at least 1")
+        if self.engine not in ("scalar", "batch"):
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; use 'scalar' or 'batch'"
+            )
         if self.faults is not None:
             self.faults.validate()
 
@@ -126,13 +138,16 @@ def spec_key(spec: RunSpec) -> str:
 
     Covers every config dataclass in the spec plus the package version
     and cache schema, so editing any constant or upgrading the code
-    invalidates old entries.
+    invalidates old entries.  The engine choice is normalised to
+    ``"scalar"``: batch and scalar executions of one spec are
+    numerically identical, so they share one cache entry (and
+    fault-free scalar specs keep their historical digests).
     """
     from .. import __version__
 
     return config_digest(
         {"version": __version__, "schema": CACHE_SCHEMA},
-        replace(spec, label=""),
+        replace(spec, label="", engine="scalar"),
     )
 
 
@@ -145,6 +160,36 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
         spec.app_name, scale=spec.app_scale, socket=spec.socket
     )
     return run_protocol(
+        app,
+        spec.controller,
+        controller_cfg=spec.controller_cfg,
+        runs=spec.runs,
+        base_seed=spec.base_seed,
+        noise=spec.noise,
+        engine_cfg=spec.engine_cfg,
+        socket_count=spec.socket_count,
+        record_trace=spec.record_trace,
+        socket=spec.socket,
+        faults=spec.faults,
+        engine=spec.engine,
+    )
+
+
+def build_spec_protocol(spec: RunSpec):
+    """One spec's result shell and unrun repetition engines.
+
+    The single-process batch path uses this to pool the repetition
+    engines of *many* specs into one lockstep batch (see
+    :func:`run_specs`); seeds and wiring match :func:`execute_spec`
+    exactly.
+    """
+    from ..workloads.catalog import build_application
+    from .protocol import build_protocol
+
+    app = build_application(
+        spec.app_name, scale=spec.app_scale, socket=spec.socket
+    )
+    return build_protocol(
         app,
         spec.controller,
         controller_cfg=spec.controller_cfg,
@@ -273,7 +318,37 @@ def run_specs(
         else:
             pending.append(i)
 
-    if workers == 1 or len(pending) <= 1:
+    if workers == 1 and len(pending) > 1 and all(
+        specs[i].engine == "batch" for i in pending
+    ):
+        # Single-process batch path: pool every pending cell's
+        # repetition engines into one lockstep batch.  ``run_batch``
+        # groups compatible engines and falls back per-engine where
+        # needed, so results are identical to per-cell execution; the
+        # per-cell seconds are the batch wall-clock apportioned by
+        # engine count (individual cells are not timed separately).
+        from ..sim.batch import run_batch
+        from .protocol import fold_protocol
+
+        shells = []
+        spans = []
+        engines = []
+        for i in pending:
+            shell, cell_engines = build_spec_protocol(specs[i])
+            shells.append(shell)
+            spans.append((len(engines), len(engines) + len(cell_engines)))
+            engines.extend(cell_engines)
+        t0 = time.perf_counter()
+        run_results = run_batch(engines)
+        batch_wall = time.perf_counter() - t0
+        timed = [
+            (
+                fold_protocol(shell, run_results[lo:hi]),
+                batch_wall * (hi - lo) / len(engines),
+            )
+            for shell, (lo, hi) in zip(shells, spans)
+        ]
+    elif workers == 1 or len(pending) <= 1:
         timed = (_execute_timed(specs[i]) for i in pending)
     else:
         pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))

@@ -24,14 +24,22 @@ from ..config import (
 from ..core.base import Controller
 from ..core.registry import PolicySpec, as_spec
 from ..errors import ExperimentError
+from ..sim.engine import SimulationEngine
 from ..sim.faults import FaultPlan
 from ..sim.machine import SimulatedMachine
 from ..sim.result import RunResult
-from ..sim.run import run_application
+from ..sim.run import build_engine
 from ..sim.trace import TraceSink
 from ..workloads.application import Application
 
-__all__ = ["ProtocolResult", "Comparison", "run_protocol", "compare"]
+__all__ = [
+    "ProtocolResult",
+    "Comparison",
+    "build_protocol",
+    "fold_protocol",
+    "run_protocol",
+    "compare",
+]
 
 #: Default number of runs per configuration (paper: 10).
 DEFAULT_RUNS = 10
@@ -76,6 +84,84 @@ class ProtocolResult:
         return self.bar("total_energy_j").mean
 
 
+def build_protocol(
+    application: Application,
+    controller: "PolicySpec | str | Callable[[], Controller]",
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    socket_count: int = 1,
+    record_trace: bool = False,
+    socket: SocketConfig | None = None,
+    trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
+) -> tuple[ProtocolResult, list[SimulationEngine]]:
+    """The protocol's result shell plus one unrun engine per repetition.
+
+    Splitting construction from execution lets callers choose *how* the
+    repetitions run: sequentially (:func:`run_protocol` with the scalar
+    engine), or in lockstep through :func:`repro.sim.batch.run_batch` —
+    possibly batched together with the engines of *other* protocol
+    cells.  Seeds, machines and trace wiring are identical to the
+    sequential path, so the folded result does not depend on the
+    execution strategy.
+    """
+    if runs < 1:
+        raise ExperimentError("need at least one run")
+    noise = noise or NoiseConfig()
+    spec: PolicySpec | None = None
+    if not callable(controller) or isinstance(controller, str):
+        spec = as_spec(controller)
+    result = ProtocolResult(
+        app_name=application.name,
+        controller_name=spec.label if spec is not None else "",
+    )
+    cfg = controller_cfg or ControllerConfig()
+    engines: list[SimulationEngine] = []
+    for r in range(runs):
+        machine = None
+        if socket is not None:
+            machine = SimulatedMachine(
+                MachineConfig(socket=socket, socket_count=socket_count)
+            )
+        factory = spec.build(cfg) if spec is not None else controller
+        engines.append(
+            build_engine(
+                application,
+                factory,
+                controller_cfg=cfg,
+                machine=machine,
+                noise=noise,
+                engine_cfg=engine_cfg,
+                socket_count=socket_count,
+                seed=noise.seed + 1009 * r + base_seed,
+                record_trace=record_trace
+                or (trace_sink is None and r == runs - 1),
+                trace_sink=trace_sink if r == runs - 1 else None,
+                faults=faults,
+            )
+        )
+    return result, engines
+
+
+def fold_protocol(
+    result: ProtocolResult, runs: list[RunResult]
+) -> ProtocolResult:
+    """Fold per-repetition results into a :func:`build_protocol` shell."""
+    for run in runs:
+        result.times_s.append(run.execution_time_s)
+        result.package_power_w.append(run.avg_package_power_w)
+        result.dram_power_w.append(run.avg_dram_power_w)
+        result.total_energy_j.append(run.total_energy_j)
+        result.last_run = run
+        if not result.controller_name:
+            result.controller_name = run.controller_name
+    return result
+
+
 def run_protocol(
     application: Application,
     controller: "PolicySpec | str | Callable[[], Controller]",
@@ -90,6 +176,7 @@ def run_protocol(
     socket: SocketConfig | None = None,
     trace_sink: TraceSink | None = None,
     faults: FaultPlan | None = None,
+    engine: str = "scalar",
 ) -> ProtocolResult:
     """Execute ``runs`` seeded repetitions of one configuration.
 
@@ -110,47 +197,36 @@ def run_protocol(
     applies one :class:`~repro.sim.faults.FaultPlan` to every run; each
     run's injector draws from its own per-run seed, so repetitions see
     independent fault realisations of the same plan.
+
+    ``engine`` selects the execution strategy: ``"scalar"`` runs each
+    repetition through the per-tick loop, ``"batch"`` advances all
+    repetitions in lockstep through the vectorized engine
+    (:mod:`repro.sim.batch`).  Results are numerically identical either
+    way (see ``docs/BATCHING.md``); batch is simply faster.
     """
-    if runs < 1:
-        raise ExperimentError("need at least one run")
-    noise = noise or NoiseConfig()
-    spec: PolicySpec | None = None
-    if not callable(controller) or isinstance(controller, str):
-        spec = as_spec(controller)
-    result = ProtocolResult(
-        app_name=application.name,
-        controller_name=spec.label if spec is not None else "",
+    if engine not in ("scalar", "batch"):
+        raise ExperimentError(f"unknown engine {engine!r}")
+    result, engines = build_protocol(
+        application,
+        controller,
+        controller_cfg=controller_cfg,
+        runs=runs,
+        base_seed=base_seed,
+        noise=noise,
+        engine_cfg=engine_cfg,
+        socket_count=socket_count,
+        record_trace=record_trace,
+        socket=socket,
+        trace_sink=trace_sink,
+        faults=faults,
     )
-    cfg = controller_cfg or ControllerConfig()
-    for r in range(runs):
-        machine = None
-        if socket is not None:
-            machine = SimulatedMachine(
-                MachineConfig(socket=socket, socket_count=socket_count)
-            )
-        factory = spec.build(cfg) if spec is not None else controller
-        run = run_application(
-            application,
-            factory,
-            controller_cfg=cfg,
-            machine=machine,
-            noise=noise,
-            engine_cfg=engine_cfg,
-            socket_count=socket_count,
-            seed=noise.seed + 1009 * r + base_seed,
-            record_trace=record_trace
-            or (trace_sink is None and r == runs - 1),
-            trace_sink=trace_sink if r == runs - 1 else None,
-            faults=faults,
-        )
-        result.times_s.append(run.execution_time_s)
-        result.package_power_w.append(run.avg_package_power_w)
-        result.dram_power_w.append(run.avg_dram_power_w)
-        result.total_energy_j.append(run.total_energy_j)
-        result.last_run = run
-        if not result.controller_name:
-            result.controller_name = run.controller_name
-    return result
+    if engine == "batch":
+        from ..sim.batch import run_batch
+
+        run_results = run_batch(engines)
+    else:
+        run_results = [e.run() for e in engines]
+    return fold_protocol(result, run_results)
 
 
 @dataclass(frozen=True)

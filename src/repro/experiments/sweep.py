@@ -109,6 +109,7 @@ def sweep_specs(
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
     faults: FaultPlan | None = None,
+    engine: str = "scalar",
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
 
@@ -128,6 +129,10 @@ def sweep_specs(
     ``faults`` applies one :class:`~repro.sim.faults.FaultPlan` to
     every cell of the grid (baselines included, so comparisons stay
     apples-to-apples); it folds into each cell's cache digest.
+
+    ``engine`` selects scalar or vectorized-batch execution for every
+    cell; results — and cache digests — are identical either way (see
+    :class:`~repro.experiments.executor.RunSpec`).
     """
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
@@ -153,6 +158,7 @@ def sweep_specs(
                 noise=noise,
                 engine_cfg=engine_cfg,
                 faults=faults,
+                engine=engine,
                 label=f"{app_name}/default",
             )
         )
@@ -171,6 +177,7 @@ def sweep_specs(
                         noise=noise,
                         engine_cfg=engine_cfg,
                         faults=faults,
+                        engine=engine,
                         label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
                 )
@@ -189,6 +196,7 @@ def run_sweep(
     engine_cfg: EngineConfig | None = None,
     app_scale: float = 1.0,
     faults: FaultPlan | None = None,
+    engine: str = "scalar",
     workers: int = 1,
     cache: ResultCache | str | None = None,
 ) -> SweepResult:
@@ -198,7 +206,10 @@ def run_sweep(
     benchmarks default to fewer to stay interactive.  ``workers``
     parallelises over grid cells (results are identical at any worker
     count); ``cache`` — a directory or :class:`ResultCache` — skips
-    cells whose results are already on disk.
+    cells whose results are already on disk.  ``engine="batch"``
+    executes every cell through the vectorized lockstep engine —
+    numerically identical results, shared cache entries, and with
+    ``workers=1`` all cells advance in one batch.
     """
     specs, cells = sweep_specs(
         apps=apps,
@@ -210,6 +221,7 @@ def run_sweep(
         engine_cfg=engine_cfg,
         app_scale=app_scale,
         faults=faults,
+        engine=engine,
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)

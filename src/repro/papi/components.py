@@ -25,10 +25,15 @@ class PerfComponent:
     processor: SimulatedProcessor
 
     def read_raw(self, event: Event) -> int:
+        return self.reader(event)()
+
+    def reader(self, event: Event):
+        """Bound zero-arg read callable, resolving the dispatch once."""
+        proc = self.processor
         if event.name == "PAPI_DP_OPS":
-            return int(self.processor.flops_retired)
+            return lambda: int(proc.flops_retired)
         if event.name == "skx_unc_imc::UNC_M_CAS_COUNT:ALL":
-            return int(self.processor.bytes_transferred / CACHE_LINE_BYTES)
+            return lambda: int(proc.bytes_transferred / CACHE_LINE_BYTES)
         raise PAPIError(f"perf component cannot read {event.name!r}")
 
 
@@ -44,6 +49,10 @@ class RAPLComponent:
     processor: SimulatedProcessor
 
     def read_raw(self, event: Event) -> int:
+        return self.reader(event)()
+
+    def reader(self, event: Event):
+        """Bound zero-arg read callable, resolving the dispatch once."""
         rapl = self.processor.rapl
         if event.name.startswith("rapl:::PACKAGE_ENERGY"):
             domain = rapl.package
@@ -51,7 +60,7 @@ class RAPLComponent:
             domain = rapl.dram
         else:
             raise PAPIError(f"rapl component cannot read {event.name!r}")
-        return int(domain.counter * domain.energy_unit_j * 1e9)
+        return lambda: int(domain.counter * domain.energy_unit_j * 1e9)
 
     def wrap_range_nj(self) -> int:
         """The nJ value at which the scaled counter wraps."""
@@ -72,6 +81,14 @@ class ComponentSet:
             return self.perf.read_raw(event)
         if event.component == "rapl":
             return self.rapl.read_raw(event)
+        raise PAPIError(f"no component {event.component!r}")
+
+    def reader(self, event: Event):
+        """Bound zero-arg read callable for hot paths (see components)."""
+        if event.component in ("perf_event", "perf_event_uncore"):
+            return self.perf.reader(event)
+        if event.component == "rapl":
+            return self.rapl.reader(event)
         raise PAPIError(f"no component {event.component!r}")
 
     def wrap_range(self, event: Event) -> int | None:

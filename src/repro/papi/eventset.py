@@ -38,6 +38,10 @@ class _Slot:
     last_raw: int = 0
     #: Accumulated virtual count since start/reset.
     accumulated: int = 0
+    #: Bound raw-read callable and wrap modulus, cached at ``start``
+    #: (events cannot change while the set is running).
+    reader: object = None
+    wrap: int | None = None
 
 
 @dataclass
@@ -76,14 +80,16 @@ class EventSet:
         if not self._slots:
             raise EventSetStateError("cannot start an empty event set")
         for slot in self._slots:
-            slot.last_raw = self.components.read_raw(slot.event)
+            slot.reader = self.components.reader(slot.event)
+            slot.wrap = self.components.wrap_range(slot.event)
+            slot.last_raw = slot.reader()
             slot.accumulated = 0
         self.state = EventSetState.RUNNING
 
     def _advance(self) -> None:
         for slot in self._slots:
-            raw = self.components.read_raw(slot.event)
-            wrap = self.components.wrap_range(slot.event)
+            raw = slot.reader()
+            wrap = slot.wrap
             if wrap is None:
                 delta = raw - slot.last_raw
                 if delta < 0:
@@ -101,6 +107,22 @@ class EventSet:
             raise EventSetStateError("read on a stopped event set")
         self._advance()
         return tuple(s.accumulated for s in self._slots)
+
+    def read_reset(self) -> tuple[int, ...]:
+        """``read`` immediately followed by ``reset``, with one raw read.
+
+        No simulated time can pass between the two calls, so the second
+        advance's deltas are identically zero; folding them into one
+        keeps the returned counts and the set state bit-for-bit equal to
+        the two-call sequence while halving the raw-counter reads.
+        """
+        if self.state is not EventSetState.RUNNING:
+            raise EventSetStateError("read on a stopped event set")
+        self._advance()
+        out = tuple(s.accumulated for s in self._slots)
+        for slot in self._slots:
+            slot.accumulated = 0
+        return out
 
     def reset(self) -> None:
         """Zero the virtual counters without stopping."""

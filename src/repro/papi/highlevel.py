@@ -65,14 +65,11 @@ class Measurement:
         surfaces as NaN here; the controller runtime checks this before
         letting a controller act on the sample.
         """
-        return all(
-            math.isfinite(v)
-            for v in (
-                self.flops_per_s,
-                self.bytes_per_s,
-                self.package_power_w,
-                self.dram_power_w,
-            )
+        return (
+            math.isfinite(self.flops_per_s)
+            and math.isfinite(self.bytes_per_s)
+            and math.isfinite(self.package_power_w)
+            and math.isfinite(self.dram_power_w)
         )
 
 
@@ -130,8 +127,7 @@ class IntervalMeter:
             raise MSRError(
                 f"injected rdmsr failure on socket {self.socket_id}"
             )
-        flops, cas, pkg_nj, dram_nj = self._events.read()
-        self._events.reset()
+        flops, cas, pkg_nj, dram_nj = self._events.read_reset()
         dropout = False
         if inj is not None:
             if self._last is not None and inj.counter_stuck(self.socket_id):

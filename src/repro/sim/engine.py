@@ -30,7 +30,7 @@ from .machine import SimulatedMachine
 from .result import PhaseSpan, RunResult, SocketResult, TraceSample
 from .trace import InMemoryTraceSink, TraceSink
 
-__all__ = ["SimulationEngine"]
+__all__ = ["SimulationEngine", "RunContext"]
 
 #: Completion tolerance on a phase's progress fraction.
 _DONE_EPS = 1e-9
@@ -47,6 +47,25 @@ class _SocketProgress:
     finish_time_s: float | None = None
     phase_start_s: float = 0.0
     spans: list[PhaseSpan] = field(default_factory=list)
+
+
+@dataclass
+class RunContext:
+    """Everything one run constructs before stepping simulated time.
+
+    Built by :meth:`SimulationEngine.prepare` and shared with the batch
+    engine (:mod:`repro.sim.batch`), so both engines consume the run's
+    RNG stream in exactly the same order: the engine generator is
+    created first, the per-socket applications draw their duration
+    jitter from it, and the controller runtime then shares it for
+    measurement noise.
+    """
+
+    rng: np.random.Generator
+    socket_apps: list[Application]
+    sink: TraceSink | None
+    injector: FaultInjector | None
+    runtime: ControllerRuntime
 
 
 @dataclass
@@ -94,8 +113,13 @@ class SimulationEngine:
                 f"engine step {dt}s must divide the controller interval {interval}s"
             )
 
-    def run(self) -> RunResult:
-        """Execute the application(s) to completion on every socket."""
+    def prepare(self) -> RunContext:
+        """Build the run's RNG, applications, sink, injector and runtime.
+
+        The construction *order* is part of the contract: the batch
+        engine calls this too, so both engines draw duration jitter and
+        measurement noise from the shared generator identically.
+        """
         rng = np.random.default_rng(
             self.seed if self.seed is not None else self.noise.seed
         )
@@ -129,6 +153,54 @@ class SimulationEngine:
             power_noise=self.noise.power_noise,
             injector=injector,
         )
+        return RunContext(
+            rng=rng,
+            socket_apps=socket_apps,
+            sink=sink,
+            injector=injector,
+            runtime=runtime,
+        )
+
+    def collect(
+        self,
+        ctx: RunContext,
+        finish_times: list[float],
+        spans: list[list[PhaseSpan]],
+    ) -> RunResult:
+        """Assemble the :class:`RunResult` once every socket finished."""
+        sink = ctx.sink
+        sockets = []
+        for sid, proc in enumerate(self.machine.processors):
+            sockets.append(
+                SocketResult(
+                    socket_id=sid,
+                    finish_time_s=finish_times[sid],
+                    package_energy_j=proc.package_energy_j,
+                    dram_energy_j=proc.dram_energy_j,
+                    trace=sink.collected(sid) if sink is not None else [],
+                    phases=spans[sid],
+                )
+            )
+        if isinstance(self.application, list):
+            app_name = "+".join(dict.fromkeys(a.name for a in self.application))
+        else:
+            app_name = self.application.name
+        return RunResult(
+            app_name=app_name,
+            controller_name=self.controllers[0].name,
+            sockets=sockets,
+            fault_events=list(ctx.injector.events)
+            if ctx.injector is not None
+            else [],
+        )
+
+    def run(self) -> RunResult:
+        """Execute the application(s) to completion on every socket."""
+        ctx = self.prepare()
+        socket_apps = ctx.socket_apps
+        sink = ctx.sink
+        injector = ctx.injector
+        runtime = ctx.runtime
         runtime.start()
 
         progress = [_SocketProgress() for _ in range(self.machine.socket_count)]
@@ -172,29 +244,11 @@ class SimulationEngine:
             if sink is not None:
                 sink.close()
 
-        sockets = []
-        for sid, proc in enumerate(self.machine.processors):
-            p = progress[sid]
-            assert p.finish_time_s is not None
-            sockets.append(
-                SocketResult(
-                    socket_id=sid,
-                    finish_time_s=p.finish_time_s,
-                    package_energy_j=proc.package_energy_j,
-                    dram_energy_j=proc.dram_energy_j,
-                    trace=sink.collected(sid) if sink is not None else [],
-                    phases=p.spans,
-                )
-            )
-        if isinstance(self.application, list):
-            app_name = "+".join(dict.fromkeys(a.name for a in self.application))
-        else:
-            app_name = self.application.name
-        return RunResult(
-            app_name=app_name,
-            controller_name=self.controllers[0].name,
-            sockets=sockets,
-            fault_events=list(injector.events) if injector is not None else [],
+        assert all(p.finish_time_s is not None for p in progress)
+        return self.collect(
+            ctx,
+            [p.finish_time_s for p in progress],  # type: ignore[misc]
+            [p.spans for p in progress],
         )
 
     # -- one socket, one macro step ------------------------------------------------

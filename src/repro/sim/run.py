@@ -12,7 +12,45 @@ from .faults import FaultPlan
 from .machine import SimulatedMachine, yeti_machine
 from .trace import TraceSink
 
-__all__ = ["run_application"]
+__all__ = ["build_engine", "run_application"]
+
+
+def build_engine(
+    application: Application | list[Application],
+    controller_factory: Callable[[], Controller],
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    machine: SimulatedMachine | None = None,
+    socket_count: int = 1,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    seed: int | None = None,
+    record_trace: bool = True,
+    trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
+) -> SimulationEngine:
+    """Build (but do not run) the engine :func:`run_application` runs.
+
+    Exposed so callers can hand several engines to
+    :func:`repro.sim.batch.run_batch` for lockstep execution; each
+    engine still needs its own fresh machine.
+    """
+    if isinstance(application, list) and machine is None and socket_count == 1:
+        socket_count = len(application)
+    machine = machine or yeti_machine(socket_count)
+    cfg = controller_cfg or ControllerConfig()
+    return SimulationEngine(
+        machine=machine,
+        application=application,
+        controllers=[controller_factory() for _ in range(machine.socket_count)],
+        controller_cfg=cfg,
+        engine_cfg=engine_cfg or EngineConfig(),
+        noise=noise or NoiseConfig(),
+        seed=seed,
+        record_trace=record_trace,
+        trace_sink=trace_sink,
+        faults=faults,
+    )
 
 
 def run_application(
@@ -41,20 +79,16 @@ def run_application(
     :class:`~repro.sim.faults.FaultPlan`; ``None`` (or an all-zero
     plan) is the byte-identical fault-free path.
     """
-    if isinstance(application, list) and machine is None and socket_count == 1:
-        socket_count = len(application)
-    machine = machine or yeti_machine(socket_count)
-    cfg = controller_cfg or ControllerConfig()
-    engine = SimulationEngine(
+    return build_engine(
+        application,
+        controller_factory,
+        controller_cfg=controller_cfg,
         machine=machine,
-        application=application,
-        controllers=[controller_factory() for _ in range(machine.socket_count)],
-        controller_cfg=cfg,
-        engine_cfg=engine_cfg or EngineConfig(),
-        noise=noise or NoiseConfig(),
+        socket_count=socket_count,
+        noise=noise,
+        engine_cfg=engine_cfg,
         seed=seed,
         record_trace=record_trace,
         trace_sink=trace_sink,
         faults=faults,
-    )
-    return engine.run()
+    ).run()

@@ -9,6 +9,8 @@ shows up as a byte diff here.  Intentional changes regenerate the file:
     PYTHONPATH=src python scripts/regen_golden_trace.py
 """
 
+import pytest
+
 import json
 import pathlib
 import sys
@@ -21,6 +23,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "scripts"))
 from regen_golden_trace import golden_run  # noqa: E402
 
 from repro.sim.export import write_trace_jsonl  # noqa: E402
+
+# Golden byte-for-byte regressions: tier 2 (`pytest -m slow`).
+pytestmark = pytest.mark.slow
 
 
 def test_golden_trace_is_byte_identical(tmp_path):

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro import units
@@ -16,6 +18,9 @@ from repro.hardware.msr import (
 from repro.hardware.power import PackagePowerModel
 from repro.hardware.rapl import RAPLDomain
 from repro.config import PowerModelConfig, UncoreConfig
+
+# Hypothesis unit-property sweeps: tier 2 (`pytest -m slow`).
+pytestmark = pytest.mark.slow
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,176 @@
+"""Property-based tests on the vectorized batch engine.
+
+Randomised mixed compositions — policies, workloads, seeds, fault
+plans drawn by hypothesis — exercise the batch engine where example-
+based differential tests cannot reach, checking the properties any
+lockstep execution must preserve:
+
+* every run finishes, with finite times, energies and trace samples;
+* traced actuator settings stay inside the socket's physical bounds
+  (core/uncore frequency ranges, the RAPL window);
+* results are invariant to batch *order* — a run's outcome depends
+  only on its own configuration, never on its neighbours;
+* results are invariant to batch *splitting* — one batch of N equals
+  any partition of the same engines into smaller batches.
+
+Hypothesis examples simulate full (short) applications, so the heavy
+sweeps carry the ``slow`` marker; a small deterministic smoke case
+keeps tier-1 coverage of every property.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import ControllerConfig, NoiseConfig, SocketConfig
+from repro.core.registry import as_spec
+from repro.sim.batch import run_batch
+from repro.sim.faults import FaultPlan
+from repro.sim.run import build_engine
+from repro.workloads.catalog import application_names, build_application
+
+BOUNDS = SocketConfig()
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Policies sampled into compositions (budget excluded: its default
+#: watt budget is composition-dependent; it has dedicated differential
+#: coverage in test_batch_equivalence.py).
+POLICIES = ("default", "duf", "dufp", "dufpf", "static", "uncore", "dnpc")
+
+plans = st.sampled_from(
+    [
+        None,
+        FaultPlan(msr_read_fail_rate=0.05, cap_latch_fail_rate=0.1),
+        FaultPlan(tick_miss_rate=0.05, tick_jitter_rate=0.05),
+    ]
+)
+
+members = st.tuples(
+    st.sampled_from(POLICIES),
+    st.sampled_from(sorted(application_names())),
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.sampled_from((0.0, 0.05, 0.10, 0.20)),  # tolerated slowdown
+    plans,
+)
+
+compositions = st.lists(members, min_size=2, max_size=6)
+
+
+def _build(policy, app, seed, tol, plan, scale=0.06):
+    cfg = ControllerConfig(tolerated_slowdown=tol)
+    return build_engine(
+        build_application(app, scale=scale),
+        as_spec(policy).build(cfg),
+        controller_cfg=cfg,
+        noise=QUIET,
+        seed=seed,
+        faults=plan,
+    )
+
+
+def _signature(result):
+    """Everything order/split invariance compares, as plain tuples."""
+    return (
+        result.app_name,
+        result.controller_name,
+        tuple(
+            (e.time_s, e.socket_id, e.channel, e.detail)
+            for e in result.fault_events
+        ),
+        tuple(
+            (
+                s.socket_id,
+                s.finish_time_s,
+                s.package_energy_j,
+                s.dram_energy_j,
+                tuple(
+                    (t.time_s, t.core_freq_hz, t.uncore_freq_hz, t.cap_w)
+                    for t in s.trace
+                ),
+            )
+            for s in result.sockets
+        ),
+    )
+
+
+def check_well_formed(result):
+    """Finite-finish and actuator-bound assertions for one run."""
+    for sock in result.sockets:
+        assert math.isfinite(sock.finish_time_s) and sock.finish_time_s > 0
+        assert math.isfinite(sock.package_energy_j) and sock.package_energy_j > 0
+        assert math.isfinite(sock.dram_energy_j) and sock.dram_energy_j >= 0
+        for t in sock.trace:
+            assert (
+                BOUNDS.core.min_freq_hz
+                <= t.core_freq_hz
+                <= BOUNDS.core.max_freq_hz
+            )
+            assert (
+                BOUNDS.uncore.min_freq_hz
+                <= t.uncore_freq_hz
+                <= BOUNDS.uncore.max_freq_hz
+            )
+            assert BOUNDS.rapl.min_limit_w <= t.cap_w <= BOUNDS.rapl.pl2_default_w
+            assert math.isfinite(t.package_power_w) and t.package_power_w >= 0
+            assert math.isfinite(t.dram_power_w) and t.dram_power_w >= 0
+
+
+@pytest.mark.slow
+@given(comp=compositions)
+@SLOW
+def test_mixed_compositions_finish_finite_within_bounds(comp):
+    results = run_batch([_build(*m) for m in comp])
+    assert len(results) == len(comp)
+    for result in results:
+        check_well_formed(result)
+
+
+@pytest.mark.slow
+@given(comp=compositions, order_seed=st.integers(min_value=0, max_value=999))
+@SLOW
+def test_batch_order_invariance(comp, order_seed):
+    """Shuffling a batch permutes the results and changes nothing else."""
+    import random
+
+    perm = list(range(len(comp)))
+    random.Random(order_seed).shuffle(perm)
+    straight = run_batch([_build(*m) for m in comp])
+    shuffled = run_batch([_build(*comp[i]) for i in perm])
+    for out_pos, in_pos in enumerate(perm):
+        assert _signature(shuffled[out_pos]) == _signature(straight[in_pos])
+
+
+@pytest.mark.slow
+@given(comp=compositions, split=st.integers(min_value=1, max_value=5))
+@SLOW
+def test_batch_split_invariance(comp, split):
+    """One batch of N equals the same engines in chunks of ``split``."""
+    whole = run_batch([_build(*m) for m in comp])
+    chunked = run_batch([_build(*m) for m in comp], max_batch=split)
+    for a, b in zip(whole, chunked):
+        assert _signature(a) == _signature(b)
+
+
+def test_smoke_properties_deterministic():
+    """Tier-1 pin of every property on one fixed mixed composition."""
+    comp = [
+        ("dufp", "CG", 11, 0.10, FaultPlan(msr_read_fail_rate=0.05)),
+        ("duf", "EP", 22, 0.05, None),
+        ("dnpc", "FT", 33, 0.0, None),
+        ("static", "LU", 44, 0.20, FaultPlan(tick_miss_rate=0.05)),
+    ]
+    whole = run_batch([_build(*m) for m in comp])
+    for result in whole:
+        check_well_formed(result)
+    reversed_ = run_batch([_build(*m) for m in reversed(comp)])
+    chunked = run_batch([_build(*m) for m in comp], max_batch=2)
+    for i in range(len(comp)):
+        sig = _signature(whole[i])
+        assert _signature(reversed_[len(comp) - 1 - i]) == sig
+        assert _signature(chunked[i]) == sig

@@ -1,9 +1,14 @@
 """Property-based tests on the budget allocator and GPU model."""
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.budget import allocate_budget
 from repro.hardware.gpu import GPUConfig, GPUKernel, SimulatedGPU
+
+# Hypothesis budget-property sweeps: tier 2 (`pytest -m slow`).
+pytestmark = pytest.mark.slow
 
 
 demands = st.lists(

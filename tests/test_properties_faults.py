@@ -7,6 +7,8 @@ may degrade efficiency, never safety.  And the all-zero plan must be
 indistinguishable from no plan at all.
 """
 
+import pytest
+
 import io
 import math
 
@@ -18,6 +20,9 @@ from repro.sim.export import trace_to_jsonl
 from repro.sim.faults import FaultPlan
 from repro.sim.run import run_application
 from repro.workloads.generator import random_application
+
+# Hypothesis fault-property sweeps: tier 2 (`pytest -m slow`).
+pytestmark = pytest.mark.slow
 
 
 QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)

@@ -4,6 +4,8 @@ Slower than the unit properties: each example simulates a short random
 application, so example counts are kept small.
 """
 
+import pytest
+
 from hypothesis import assume, given, settings, strategies as st, HealthCheck
 
 from repro.config import ControllerConfig, NoiseConfig
@@ -12,6 +14,9 @@ from repro.core.duf import DUF
 from repro.core.dufp import DUFP
 from repro.sim.run import run_application
 from repro.workloads.generator import random_application
+
+# Hypothesis end-to-end sweeps: tier 2 (`pytest -m slow`).
+pytestmark = pytest.mark.slow
 
 
 QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
