@@ -1,34 +1,47 @@
-"""Scalar-vs-batch throughput baseline and regression gate.
+"""Scalar-vs-batch throughput baselines and regression gate.
 
-Times one *locked* 64-cell sweep composition — every cell a full
-application run — through both execution engines and records the
-result in ``BENCH_simulator.json`` at the repository root:
+Times two *locked* sweep compositions — every cell a full application
+run — through both execution engines and records the result in
+``BENCH_simulator.json`` at the repository root:
 
     PYTHONPATH=src python scripts/bench_baseline.py --write   # refresh
     PYTHONPATH=src python scripts/bench_baseline.py --check   # CI gate
 
-``--check`` re-measures and fails (exit 1) when either
+The compositions exercise the two regimes the batch engine must win:
 
-* the batch engine's speedup over scalar drops below ``MIN_SPEEDUP``
-  (3x — the committed baseline is ~5x; the floor absorbs runner
-  noise, not regressions), or
+* ``cells64`` — 8 applications x {duf, dufp} x 4 tolerances, one seed
+  per cell, full scale: the original sweep-sized workload;
+* ``cells1024`` — the same grid x 16 seeds: the lane-parallel
+  controller path at scale, where per-run Python overhead would
+  dominate a scatter/gather design.
+
+``--check`` re-measures and fails (exit 1) when, for any composition,
+
+* the batch engine's speedup over scalar drops below the
+  composition's ``min_speedup`` floor (the floors sit well under the
+  committed numbers; they absorb runner noise, not regressions), or
 * fresh scalar throughput falls below ``MIN_SCALAR_RATIO`` (80 %) of
   the committed baseline — the batch engine must never be paid for by
   slowing the scalar path down.
 
-The composition is part of the file's contract: changing it requires
-``--write`` and a justified diff.  Timings are min-of-``--reps`` so
-one noisy rep cannot fail the gate; simulated-tick counts come from
-the run results themselves and are engine-independent (the engines
-are numerically identical — see tests/test_batch_equivalence.py).
+``--json PATH`` additionally writes the fresh measurement plus the
+gate verdict as machine-readable JSON (CI uploads it on failure, so a
+tripped gate is diagnosable without re-running).
+
+Each composition is part of the file's contract: changing one
+requires ``--write`` and a justified diff.  Timings are min-of-reps
+so one noisy rep cannot fail the gate; simulated-tick counts come
+from the run results themselves and are engine-independent (the
+engines are numerically identical — see
+tests/test_batch_equivalence.py).
 
 Absolute ticks/s are not comparable across machines or interpreter
 versions, so the baseline also records a *calibration* probe — a
 fixed pure-Python arithmetic loop timed the same way — and the scalar
 floor compares throughputs normalised by it.  A slower runner slows
 probe and engine alike and passes; only the engine regressing
-*relative to the interpreter* fails.  (The speedup floor is already a
-same-run ratio and needs no normalisation.)
+*relative to the interpreter* fails.  (The speedup floors are already
+same-run ratios and need no normalisation.)
 """
 
 from __future__ import annotations
@@ -49,16 +62,35 @@ from repro.workloads.catalog import build_application
 
 BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_simulator.json"
 
-#: The locked composition: 8 applications x {duf, dufp} x 4 tolerances
-#: = 64 cells, one full-scale run each, seeds sequential over cells.
-#: (MG is excluded deliberately: its 600 phases make phase-crossing
-#: bookkeeping, not the per-tick physics, the dominant cost.)
+#: Both compositions share the application/policy/tolerance grid; they
+#: differ in how many seeds replicate each grid cell.  (MG is excluded
+#: deliberately: its 600 phases make phase-crossing bookkeeping, not
+#: the per-tick physics, the dominant cost.)
 APPS = ("BT", "CG", "EP", "FT", "LU", "UA", "SP", "HPL")
 POLICIES = ("duf", "dufp")
 TOLERANCES_PCT = (0.0, 5.0, 10.0, 20.0)
 APP_SCALE = 1.0
 
-MIN_SPEEDUP = 3.0
+#: The locked compositions.  ``min_speedup`` floors sit at roughly
+#: 60 % of the committed numbers so runner noise cannot trip the gate
+#: but a real regression does.  The 1024-cell scalar pass is
+#: expensive, so its rep counts are lower — at ~90 s a rep,
+#: interference noise averages out within one rep.
+COMPOSITIONS: dict[str, dict] = {
+    "cells64": {
+        "seeds_per_cell": 1,
+        "min_speedup": 5.0,
+        "write_reps": 5,
+        "check_reps": 3,
+    },
+    "cells1024": {
+        "seeds_per_cell": 16,
+        "min_speedup": 15.0,
+        "write_reps": 2,
+        "check_reps": 1,
+    },
+}
+
 MIN_SCALAR_RATIO = 0.8
 
 
@@ -83,25 +115,40 @@ def calibrate(reps: int = 5, n: int = 2_000_000) -> float:
     return n / best
 
 
-def build_cells():
-    """The 64 unrun engines of the locked composition, in seed order."""
+def composition_spec(name: str) -> dict:
+    """The locked, committed description of composition ``name``."""
+    seeds = COMPOSITIONS[name]["seeds_per_cell"]
+    return {
+        "apps": list(APPS),
+        "policies": list(POLICIES),
+        "tolerances_pct": list(TOLERANCES_PCT),
+        "app_scale": APP_SCALE,
+        "seeds_per_cell": seeds,
+        "cells": len(APPS) * len(POLICIES) * len(TOLERANCES_PCT) * seeds,
+    }
+
+
+def build_cells(name: str):
+    """The unrun engines of composition ``name``, in seed order."""
+    seeds_per_cell = COMPOSITIONS[name]["seeds_per_cell"]
     engines = []
     seed = 0
     for app_name in APPS:
         app = build_application(app_name, scale=APP_SCALE)
         for policy in POLICIES:
             for tol in TOLERANCES_PCT:
-                cfg = with_slowdown(ControllerConfig(), tol)
-                engines.append(
-                    build_engine(
-                        app,
-                        as_spec(policy).build(cfg),
-                        controller_cfg=cfg,
-                        seed=seed,
-                        record_trace=False,
+                for _ in range(seeds_per_cell):
+                    cfg = with_slowdown(ControllerConfig(), tol)
+                    engines.append(
+                        build_engine(
+                            app,
+                            as_spec(policy).build(cfg),
+                            controller_cfg=cfg,
+                            seed=seed,
+                            record_trace=False,
+                        )
                     )
-                )
-                seed += 1
+                    seed += 1
     return engines
 
 
@@ -113,38 +160,31 @@ def simulated_ticks(results) -> int:
     )
 
 
-def measure(reps: int) -> dict:
-    """min-of-``reps`` wall clock for both engines over the composition."""
+def measure_composition(name: str, reps: int) -> dict:
+    """min-of-``reps`` wall clock for both engines over ``name``."""
     scalar_walls, batch_walls = [], []
     ticks = 0
     for rep in range(reps):
-        engines = build_cells()
+        engines = build_cells(name)
         t0 = time.perf_counter()
         results = [e.run() for e in engines]
         scalar_walls.append(time.perf_counter() - t0)
         ticks = simulated_ticks(results)
 
-        engines = build_cells()
+        engines = build_cells(name)
         t0 = time.perf_counter()
         run_batch(engines)
         batch_walls.append(time.perf_counter() - t0)
         print(
-            f"rep {rep + 1}/{reps}: scalar {scalar_walls[-1]:.2f} s, "
+            f"{name} rep {rep + 1}/{reps}: "
+            f"scalar {scalar_walls[-1]:.2f} s, "
             f"batch {batch_walls[-1]:.2f} s "
             f"({scalar_walls[-1] / batch_walls[-1]:.2f}x)",
             file=sys.stderr,
         )
     scalar_wall, batch_wall = min(scalar_walls), min(batch_walls)
     return {
-        "schema": 1,
-        "calibration_ops_per_s": round(calibrate(), 1),
-        "composition": {
-            "apps": list(APPS),
-            "policies": list(POLICIES),
-            "tolerances_pct": list(TOLERANCES_PCT),
-            "app_scale": APP_SCALE,
-            "cells": len(APPS) * len(POLICIES) * len(TOLERANCES_PCT),
-        },
+        "composition": composition_spec(name),
         "reps": reps,
         "simulated_ticks": ticks,
         "scalar": {
@@ -159,37 +199,68 @@ def measure(reps: int) -> dict:
     }
 
 
+def measure(write: bool, reps_override: int | None) -> dict:
+    """Measure every composition; ``reps_override`` applies to all."""
+    out = {
+        "schema": 2,
+        "calibration_ops_per_s": round(calibrate(), 1),
+        "compositions": {},
+    }
+    for name, spec in COMPOSITIONS.items():
+        reps = reps_override or (
+            spec["write_reps"] if write else spec["check_reps"]
+        )
+        out["compositions"][name] = measure_composition(name, reps)
+    return out
+
+
 def check(fresh: dict) -> list[str]:
     """Gate violations of ``fresh`` against the committed baseline."""
     if not BASELINE.exists():
         return [f"no committed baseline at {BASELINE}; run --write first"]
     committed = json.loads(BASELINE.read_text())
+    if committed.get("schema") != fresh["schema"]:
+        return [
+            "committed baseline uses a different schema; rerun --write "
+            "and justify the diff"
+        ]
     problems = []
-    if committed["composition"] != fresh["composition"]:
-        problems.append(
-            "benchmark composition drifted from the committed baseline; "
-            "rerun --write and justify the diff"
-        )
-    if fresh["speedup"] < MIN_SPEEDUP:
-        problems.append(
-            f"batch speedup {fresh['speedup']:.2f}x fell below the "
-            f"{MIN_SPEEDUP:.1f}x floor (committed: "
-            f"{committed['speedup']:.2f}x)"
-        )
-    # Normalise the committed throughput to this machine's speed via
-    # the calibration probe before applying the regression floor.
     machine = (
         fresh["calibration_ops_per_s"] / committed["calibration_ops_per_s"]
     )
-    expected = committed["scalar"]["ticks_per_s"] * machine
-    if fresh["scalar"]["ticks_per_s"] < MIN_SCALAR_RATIO * expected:
-        problems.append(
-            f"scalar throughput {fresh['scalar']['ticks_per_s']:.0f} "
-            f"ticks/s regressed below {MIN_SCALAR_RATIO:.0%} of the "
-            f"committed baseline ({committed['scalar']['ticks_per_s']:.0f} "
-            f"ticks/s, {expected:.0f} after the {machine:.2f}x machine-"
-            f"speed normalisation)"
-        )
+    for name, floor_spec in COMPOSITIONS.items():
+        f = fresh["compositions"][name]
+        c = committed["compositions"].get(name)
+        if c is None:
+            problems.append(
+                f"{name}: missing from the committed baseline; "
+                "rerun --write and justify the diff"
+            )
+            continue
+        if c["composition"] != f["composition"]:
+            problems.append(
+                f"{name}: benchmark composition drifted from the "
+                "committed baseline; rerun --write and justify the diff"
+            )
+        min_speedup = floor_spec["min_speedup"]
+        if f["speedup"] < min_speedup:
+            problems.append(
+                f"{name}: batch speedup {f['speedup']:.2f}x fell below "
+                f"the {min_speedup:.1f}x floor (committed: "
+                f"{c['speedup']:.2f}x)"
+            )
+        # Normalise the committed throughput to this machine's speed
+        # via the calibration probe before applying the floor.
+        expected = c["scalar"]["ticks_per_s"] * machine
+        if f["scalar"]["ticks_per_s"] < MIN_SCALAR_RATIO * expected:
+            problems.append(
+                f"{name}: scalar throughput "
+                f"{f['scalar']['ticks_per_s']:.0f} ticks/s regressed "
+                f"below {MIN_SCALAR_RATIO:.0%} of the committed "
+                f"baseline ({c['scalar']['ticks_per_s']:.0f} ticks/s, "
+                f"{expected:.0f} after the {machine:.2f}x machine-"
+                f"speed normalisation)"
+            )
     return problems
 
 
@@ -206,25 +277,51 @@ def main() -> int:
         "--reps",
         type=int,
         default=None,
-        help="timing repetitions (default: 5 for --write, 3 for --check)",
+        help="timing repetitions for every composition (default: each "
+        "composition's committed write/check rep count)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write the fresh measurement and gate verdict as JSON",
     )
     args = parser.parse_args()
 
-    reps = args.reps or (5 if args.write else 3)
-    fresh = measure(reps)
-    print(
-        f"scalar {fresh['scalar']['wall_s']:.2f} s "
-        f"({fresh['scalar']['ticks_per_s']:.0f} ticks/s), "
-        f"batch {fresh['batch']['wall_s']:.2f} s "
-        f"({fresh['batch']['ticks_per_s']:.0f} ticks/s), "
-        f"speedup {fresh['speedup']:.2f}x over "
-        f"{fresh['composition']['cells']} cells"
-    )
+    fresh = measure(args.write, args.reps)
+    for name, f in fresh["compositions"].items():
+        print(
+            f"{name}: scalar {f['scalar']['wall_s']:.2f} s "
+            f"({f['scalar']['ticks_per_s']:.0f} ticks/s), "
+            f"batch {f['batch']['wall_s']:.2f} s "
+            f"({f['batch']['ticks_per_s']:.0f} ticks/s), "
+            f"speedup {f['speedup']:.2f}x over "
+            f"{f['composition']['cells']} cells"
+        )
     if args.write:
         BASELINE.write_text(json.dumps(fresh, indent=2) + "\n")
         print(f"wrote baseline to {BASELINE}")
+        if args.json:
+            report = dict(fresh, gate={"checked": False, "problems": []})
+            args.json.write_text(json.dumps(report, indent=2) + "\n")
         return 0
     problems = check(fresh)
+    if args.json:
+        report = dict(
+            fresh,
+            gate={
+                "checked": True,
+                "passed": not problems,
+                "problems": problems,
+                "floors": {
+                    name: spec["min_speedup"]
+                    for name, spec in COMPOSITIONS.items()
+                },
+                "min_scalar_ratio": MIN_SCALAR_RATIO,
+            },
+        )
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     if not problems:

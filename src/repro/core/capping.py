@@ -21,12 +21,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import ControllerConfig
 from ..errors import ControllerError
 from ..interfaces.powercap import PowercapZone
-from ..units import watts_to_uw
+from ..units import MICRO, watts_to_uw
 
-__all__ = ["CapActuator"]
+__all__ = ["CapActuator", "CapLanes"]
 
 
 @dataclass
@@ -116,3 +118,149 @@ class CapActuator:
             self.zone.set_both_limits_uw(cap_uw, cap_uw)
             return True
         return False
+
+
+class CapLanes:
+    """Lane-parallel mirror of :class:`CapActuator`.
+
+    Operates directly on the batch engine's latched-limit and pending-
+    write arrays: every action stages a *pending* RAPL write (value,
+    window, due time), exactly like the scalar actuator's
+    ``set_limits`` path — the cap the decisions read (``pl1_w``) only
+    moves when the batch physics latches the pending write.
+
+    Tied writes quantize through the microwatt round trip
+    (``rint(w / MICRO) · MICRO``) that the scalar path performs via
+    ``watts_to_uw``/``uw_to_watts``, and reuse each lane's currently
+    latched windows; resets restore the architecture defaults with
+    their explicit windows.  Masked writes are issued in scalar program
+    order, so a lane written twice in one tick keeps the last write —
+    the same overwrite semantics as the single pending slot in
+    :class:`~repro.hardware.rapl.RAPL`.
+
+    ``wrote_pending`` flags that some lane staged a write, so the batch
+    engine re-arms its pending-latch scan.
+    """
+
+    __slots__ = (
+        "pl1_w",
+        "_pl1_win",
+        "_pl2_win",
+        "_rapl_now",
+        "_pend_due",
+        "_pend1_w",
+        "_pend1_win",
+        "_pend2_w",
+        "_pend2_win",
+        "_step_w",
+        "_floor_w",
+        "default_w",
+        "_default_pl2_w",
+        "_default_win1",
+        "_default_win2",
+        "_delay_s",
+        "just_reset",
+        "wrote_pending",
+    )
+
+    def __init__(
+        self,
+        *,
+        pl1_w: np.ndarray,
+        pl1_win: np.ndarray,
+        pl2_win: np.ndarray,
+        rapl_now: np.ndarray,
+        pend_due: np.ndarray,
+        pend1_w: np.ndarray,
+        pend1_win: np.ndarray,
+        pend2_w: np.ndarray,
+        pend2_win: np.ndarray,
+        step_w: np.ndarray,
+        floor_w: np.ndarray,
+        default_w: float,
+        default_pl2_w: float,
+        default_win1: float,
+        default_win2: float,
+        delay_s: float,
+    ):
+        self.pl1_w = pl1_w
+        self._pl1_win = pl1_win
+        self._pl2_win = pl2_win
+        self._rapl_now = rapl_now
+        self._pend_due = pend_due
+        self._pend1_w = pend1_w
+        self._pend1_win = pend1_win
+        self._pend2_w = pend2_w
+        self._pend2_win = pend2_win
+        self._step_w = np.asarray(step_w, dtype=float)
+        self._floor_w = np.asarray(floor_w, dtype=float)
+        self.default_w = default_w
+        self._default_pl2_w = default_pl2_w
+        self._default_win1 = default_win1
+        self._default_win2 = default_win2
+        self._delay_s = delay_s
+        self.just_reset = np.zeros(len(self._step_w), dtype=bool)
+        self.wrote_pending = False
+
+    def _write_tied(self, idx: np.ndarray, new_w: np.ndarray) -> None:
+        """Stage PL1 = PL2 = quantized ``new_w``, current windows."""
+        if len(idx) == 0:
+            return
+        q = np.rint(new_w / MICRO) * MICRO
+        self._pend_due[idx] = self._rapl_now[idx] + self._delay_s
+        self._pend1_w[idx] = q
+        self._pend1_win[idx] = self._pl1_win[idx]
+        self._pend2_w[idx] = q
+        self._pend2_win[idx] = self._pl2_win[idx]
+        self.wrote_pending = True
+
+    def _write_defaults(self, idx: np.ndarray) -> None:
+        """Stage the architecture-default limits and windows."""
+        if len(idx) == 0:
+            return
+        self._pend_due[idx] = self._rapl_now[idx] + self._delay_s
+        self._pend1_w[idx] = self.default_w
+        self._pend1_win[idx] = self._default_win1
+        self._pend2_w[idx] = self._default_pl2_w
+        self._pend2_win[idx] = self._default_win2
+        self.wrote_pending = True
+
+    def decrease(self, idx: np.ndarray) -> np.ndarray:
+        """Lower one step (floored), tied; ``False`` marks floored lanes."""
+        cap = self.pl1_w[idx]
+        can = cap > self._floor_w[idx]
+        sub = idx[can]
+        self._write_tied(
+            sub, np.maximum(self.pl1_w[sub] - self._step_w[sub], self._floor_w[sub])
+        )
+        self.just_reset[sub] = False
+        return can
+
+    def increase(self, idx: np.ndarray) -> np.ndarray:
+        """Raise one step (reset at the default); ``False`` at default."""
+        cap = self.pl1_w[idx]
+        can = cap < self.default_w
+        sub = idx[can]
+        new_w = self.pl1_w[sub] + self._step_w[sub]
+        to_default = new_w >= self.default_w
+        self.reset(sub[to_default])
+        tied = sub[~to_default]
+        self._write_tied(tied, new_w[~to_default])
+        self.just_reset[tied] = False
+        return can
+
+    def reset(self, idx: np.ndarray) -> None:
+        """Restore defaults on ``idx`` and mark them just-reset."""
+        self._write_defaults(idx)
+        self.just_reset[idx] = True
+
+    def after_reset_tighten(self, idx: np.ndarray, package_power_w: np.ndarray) -> None:
+        """The tick after a reset: tie PL2 to PL1 where power fits."""
+        jr = self.just_reset[idx]
+        sub = idx[jr]
+        if len(sub) == 0:
+            return
+        self.just_reset[sub] = False
+        power = package_power_w[jr]
+        fits = np.isfinite(power) & (power < self.pl1_w[sub])
+        self._write_tied(sub[fits], self.pl1_w[sub][fits])

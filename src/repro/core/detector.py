@@ -14,10 +14,22 @@ import enum
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import ControllerConfig
 from ..errors import ControllerError
 
-__all__ = ["OIClass", "classify_oi", "PhaseDetector"]
+__all__ = [
+    "OIClass",
+    "classify_oi",
+    "PhaseDetector",
+    "OI_HIGHLY_MEMORY",
+    "OI_MEMORY",
+    "OI_CPU",
+    "OI_HIGHLY_CPU",
+    "classify_oi_lanes",
+    "PhaseDetectorLanes",
+]
 
 
 class OIClass(enum.Enum):
@@ -93,3 +105,65 @@ class PhaseDetector:
         """Forget all history (controller restart)."""
         self._current_class = None
         self._prev_flops = 0.0
+
+
+#: Integer class codes used by the lane-parallel classifier; ordered so
+#: ``code <= OI_MEMORY`` is exactly :attr:`OIClass.is_memory`.
+OI_HIGHLY_MEMORY, OI_MEMORY, OI_CPU, OI_HIGHLY_CPU = 0, 1, 2, 3
+
+
+def classify_oi_lanes(
+    oi: np.ndarray,
+    highly_memory: np.ndarray,
+    memory_boundary: np.ndarray,
+    highly_cpu: np.ndarray,
+) -> np.ndarray:
+    """Bucket operational intensities lane-parallel; per-lane thresholds.
+
+    Mirrors :func:`classify_oi`'s comparison chain (the later masked
+    stores narrow the earlier ones, so write order matters).  ``inf``
+    classifies as highly CPU-intensive, matching the scalar path for a
+    zero-bandwidth interval.
+    """
+    out = np.full(len(oi), OI_CPU, dtype=np.int8)
+    out[oi > highly_cpu] = OI_HIGHLY_CPU
+    out[oi < memory_boundary] = OI_MEMORY
+    out[oi < highly_memory] = OI_HIGHLY_MEMORY
+    return out
+
+
+class PhaseDetectorLanes:
+    """Lane-parallel mirror of :class:`PhaseDetector`.
+
+    Keeps every lane's regime (seen / memory-vs-CPU) and previous
+    FLOPS/s; :meth:`update` applies the scalar detector's three phase
+    tests as one boolean expression — the OR of mutually exclusive
+    conditions is equivalent to the scalar if/elif chain.
+    """
+
+    __slots__ = ("seen", "is_memory", "prev_flops", "_jump")
+
+    def __init__(self, phase_flops_jump: np.ndarray):
+        self._jump = np.asarray(phase_flops_jump, dtype=float)
+        n = len(self._jump)
+        self.seen = np.zeros(n, dtype=bool)
+        self.is_memory = np.zeros(n, dtype=bool)
+        self.prev_flops = np.zeros(n)
+
+    def update(
+        self, idx: np.ndarray, codes: np.ndarray, flops: np.ndarray
+    ) -> np.ndarray:
+        """Fold one measurement per lane; ``True`` marks a phase change."""
+        new_memory = codes <= OI_MEMORY
+        changed = (
+            ~self.seen[idx]
+            | (new_memory != self.is_memory[idx])
+            | (
+                (self.prev_flops[idx] > 0.0)
+                & (flops >= self._jump[idx] * self.prev_flops[idx])
+            )
+        )
+        self.seen[idx] = True
+        self.is_memory[idx] = new_memory
+        self.prev_flops[idx] = flops
+        return changed

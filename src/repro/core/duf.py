@@ -21,18 +21,127 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import ControllerConfig
 from ..papi.highlevel import Measurement
 from .base import Controller, TickLog
-from .detector import PhaseDetector
-from .tolerance import SlowdownTracker, ToleranceVerdict
-from .uncore_actuator import UncoreActuator
+from .capping import CapLanes
+from .detector import PhaseDetector, PhaseDetectorLanes, classify_oi_lanes
+from .tolerance import (
+    SlowdownLanes,
+    SlowdownTracker,
+    ToleranceVerdict,
+    VERDICT_BELOW,
+    VERDICT_WITHIN,
+)
+from .uncore_actuator import UncoreActuator, UncoreLanes
 
-__all__ = ["DUF", "UncoreDecisionEngine"]
+__all__ = [
+    "DUF",
+    "UncoreDecisionEngine",
+    "LaneControllerState",
+    "LANE_HOLD",
+    "LANE_INCREASE",
+    "LANE_DECREASE",
+    "LANE_RESET",
+    "LANE_ACTIONS",
+]
 
 #: Bandwidth below this is treated as "no memory traffic": the
 #: bandwidth-drop guard is meaningless on compute-only phases.
 _BW_FLOOR_BYTES = 1e8
+
+#: Integer action codes returned by ``tick_lanes`` forms; indexes into
+#: :data:`LANE_ACTIONS` for the scalar tick's action strings.
+LANE_HOLD, LANE_INCREASE, LANE_DECREASE, LANE_RESET = 0, 1, 2, 3
+LANE_ACTIONS = ("hold", "increase", "decrease", "reset")
+
+
+@dataclass
+class LaneControllerState:
+    """All lane-parallel controller state for one batch of lanes.
+
+    One instance covers *every* lane of a batch; lanes whose run fell
+    back to scalar scatter/gather simply never appear in the index
+    arrays handed to ``tick_lanes``.  The fields mirror the scalar
+    object graph one-to-one:
+
+    * ``detector`` — :class:`~repro.core.detector.PhaseDetector`;
+    * ``uncore``, ``flops``, ``bandwidth``, ``last_increase_flops`` —
+      :class:`UncoreDecisionEngine` (``NaN`` encodes the scalar
+      ``None`` for ``last_increase_flops``);
+    * ``cap``, ``cap_flops``, ``cap_bw``, ``joint_reset_pending`` —
+      DUFP's cap side (unused by plain DUF lanes);
+    * the remaining arrays are per-lane ``ControllerConfig`` values
+      needed at decision time.
+    """
+
+    detector: PhaseDetectorLanes
+    uncore: UncoreLanes
+    flops: SlowdownLanes
+    bandwidth: SlowdownLanes
+    last_increase_flops: np.ndarray
+    cap: CapLanes
+    cap_flops: SlowdownLanes
+    cap_bw: SlowdownLanes
+    joint_reset_pending: np.ndarray
+    measurement_error: np.ndarray
+    oi_highly_memory: np.ndarray
+    oi_memory_boundary: np.ndarray
+    oi_highly_cpu: np.ndarray
+
+
+def engine_on_phase_change(
+    st: LaneControllerState, idx: np.ndarray, fl: np.ndarray, by: np.ndarray
+) -> None:
+    """Vector :meth:`UncoreDecisionEngine.on_phase_change` on ``idx``."""
+    st.uncore.reset(idx)
+    st.flops.reset(idx, fl)
+    st.bandwidth.reset(idx, by)
+    st.last_increase_flops[idx] = np.nan
+
+
+def engine_decide(
+    st: LaneControllerState, idx: np.ndarray, fl: np.ndarray, by: np.ndarray
+) -> np.ndarray:
+    """Vector :meth:`UncoreDecisionEngine.decide`; returns action codes."""
+    st.flops.observe(idx, fl)
+    st.bandwidth.observe(idx, by)
+
+    verdict = st.flops.judge(idx, fl)
+    bw_violated = (st.bandwidth.phase_max[idx] > _BW_FLOOR_BYTES) & (
+        st.bandwidth.judge(idx, by) == VERDICT_BELOW
+    )
+
+    action = np.zeros(len(idx), dtype=np.int8)  # LANE_HOLD
+    up = (verdict == VERDICT_BELOW) | bw_violated
+    pos_up = np.flatnonzero(up)
+    st.last_increase_flops[idx[pos_up]] = fl[pos_up]
+    moved_up = st.uncore.increase(idx[pos_up])
+    action[pos_up[moved_up]] = LANE_INCREASE
+
+    st.last_increase_flops[idx[~up]] = np.nan
+    down = ~up & (verdict == VERDICT_WITHIN)
+    pos_down = np.flatnonzero(down)
+    moved_down = st.uncore.decrease(idx[pos_down])
+    action[pos_down[moved_down]] = LANE_DECREASE
+    # ~up & AT_BOUNDARY lanes keep LANE_HOLD.
+    return action
+
+
+def engine_increase_was_futile(
+    st: LaneControllerState, idx: np.ndarray, fl: np.ndarray
+) -> np.ndarray:
+    """Vector :meth:`UncoreDecisionEngine.increase_was_futile`.
+
+    ``NaN`` in ``last_increase_flops`` (the scalar ``None``) makes both
+    terms False, so no ``isnan`` special-casing of the comparison is
+    needed beyond the explicit guard.
+    """
+    last = st.last_increase_flops[idx]
+    band = st.measurement_error[idx] * np.maximum(last, 1.0)
+    return ~np.isnan(last) & (fl <= last + band)
 
 
 @dataclass
@@ -148,3 +257,38 @@ class DUF(Controller):
                 uncore_action=action,
             )
         )
+
+    @staticmethod
+    def tick_lanes(
+        st: LaneControllerState,
+        idx: np.ndarray,
+        fl: np.ndarray,
+        by: np.ndarray,
+        pk: np.ndarray,
+        oi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+        """Lane-parallel :meth:`tick` over the lanes in ``idx``.
+
+        ``fl``/``by``/``pk``/``oi`` are the finite per-lane measurement
+        rates aligned with ``idx`` (the batch engine only routes
+        fault-free runs here, so the scalar non-finite skip branch is
+        unreachable).  Returns ``(phase_change, cap_actions,
+        uncore_actions)``; DUF drives no cap, so ``cap_actions`` is
+        ``None``.
+        """
+        del pk  # DUF reads no power.
+        codes = classify_oi_lanes(
+            oi,
+            st.oi_highly_memory[idx],
+            st.oi_memory_boundary[idx],
+            st.oi_highly_cpu[idx],
+        )
+        changed = st.detector.update(idx, codes, fl)
+        action = np.full(len(idx), LANE_RESET, dtype=np.int8)
+        pos_ch = np.flatnonzero(changed)
+        engine_on_phase_change(st, idx[pos_ch], fl[pos_ch], by[pos_ch])
+        pos_rest = np.flatnonzero(~changed)
+        action[pos_rest] = engine_decide(
+            st, idx[pos_rest], fl[pos_rest], by[pos_rest]
+        )
+        return changed, None, action

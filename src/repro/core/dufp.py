@@ -35,12 +35,36 @@ Two interaction rules couple the actuators (paper, §III):
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import ControllerConfig
 from ..papi.highlevel import Measurement
 from .base import Controller, TickLog
-from .detector import OIClass, PhaseDetector, classify_oi
-from .duf import UncoreDecisionEngine
-from .tolerance import SlowdownTracker, ToleranceVerdict
+from .detector import (
+    OI_HIGHLY_CPU,
+    OI_HIGHLY_MEMORY,
+    OIClass,
+    PhaseDetector,
+    classify_oi,
+    classify_oi_lanes,
+)
+from .duf import (
+    LANE_DECREASE,
+    LANE_INCREASE,
+    LANE_RESET,
+    LaneControllerState,
+    UncoreDecisionEngine,
+    engine_decide,
+    engine_increase_was_futile,
+    engine_on_phase_change,
+)
+from .tolerance import (
+    SlowdownTracker,
+    ToleranceVerdict,
+    VERDICT_AT_BOUNDARY,
+    VERDICT_BELOW,
+    VERDICT_WITHIN,
+)
 
 __all__ = ["DUFP"]
 
@@ -191,3 +215,113 @@ class DUFP(Controller):
                 uncore_action=uncore_action,
             )
         )
+
+    @staticmethod
+    def tick_lanes(
+        st: LaneControllerState,
+        idx: np.ndarray,
+        fl: np.ndarray,
+        by: np.ndarray,
+        pk: np.ndarray,
+        oi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+        """Lane-parallel :meth:`tick` over the lanes in ``idx``.
+
+        Restages the scalar tick's control flow as disjoint masked
+        groups evaluated in the scalar program order.  Two scalar
+        branch asymmetries collapse on the vector path:
+
+        * both the over-cap branch and the normal branch run the
+          uncore decision identically, so ``engine_decide`` is applied
+          once to every non-phase-change lane;
+        * ``ensure_reset`` (interaction 2) is provably a no-op here —
+          the batch engine keeps a pinned uncore's applied frequency
+          equal to its window, so a reset never needs re-issuing; only
+          the pending flag is cleared.
+
+        Returns ``(phase_change, cap_actions, uncore_actions)``.
+        """
+        codes = classify_oi_lanes(
+            oi,
+            st.oi_highly_memory[idx],
+            st.oi_memory_boundary[idx],
+            st.oi_highly_cpu[idx],
+        )
+        changed = st.detector.update(idx, codes, fl)
+        n = len(idx)
+        cap_action = np.full(n, LANE_RESET, dtype=np.int8)
+        unc_action = np.full(n, LANE_RESET, dtype=np.int8)
+
+        # Phase change: joint reset of cap, uncore and all trackers.
+        pos_ch = np.flatnonzero(changed)
+        ch = idx[pos_ch]
+        st.cap.reset(ch)
+        engine_on_phase_change(st, ch, fl[pos_ch], by[pos_ch])
+        st.cap_flops.reset(ch, fl[pos_ch])
+        st.cap_bw.reset(ch, by[pos_ch])
+        st.joint_reset_pending[ch] = True
+
+        pos_rest = np.flatnonzero(~changed)
+        if len(pos_rest) == 0:
+            return changed, cap_action, unc_action
+        rest = idx[pos_rest]
+        rfl, rby, rpk = fl[pos_rest], by[pos_rest], pk[pos_rest]
+        rcodes = codes[pos_rest]
+
+        # Interaction 2 (see above): clear the flag, no re-pin needed.
+        st.joint_reset_pending[rest] = False
+
+        # Post-reset bookkeeping: re-tie PL2 once power fits the cap.
+        st.cap.after_reset_tighten(rest, rpk)
+
+        # The over-cap test reads the *latched* cap, which no staged
+        # pending write (including the tighten above) has moved.
+        cap_w = st.cap.pl1_w[rest]
+        over = (cap_w < st.cap.default_w) & (rpk > cap_w * OVER_CAP_MARGIN)
+
+        # Interaction 1 is judged on the previous tick's uncore move,
+        # so read it before the engine decides this tick.
+        futile = engine_increase_was_futile(st, rest, rfl)
+
+        unc_action[pos_rest] = engine_decide(st, rest, rfl, rby)
+
+        # Both scalar branches observe the cap metrics before acting.
+        st.cap_flops.observe(rest, rfl)
+        st.cap_bw.observe(rest, rby)
+
+        cap_action[pos_rest] = 0  # LANE_HOLD baseline
+
+        # The cap failed to hold: consumption exceeds it.  Reset.
+        pos_over = pos_rest[over]
+        st.cap.reset(idx[pos_over])
+        cap_action[pos_over] = LANE_RESET
+
+        # Normal cap decision for the remaining lanes.
+        norm = ~over
+        verdict = st.cap_flops.judge(rest, rfl)
+        bw_below = st.cap_bw.judge(rest, rby) == VERDICT_BELOW
+        not_hm = rcodes != OI_HIGHLY_MEMORY
+        highly_cpu = rcodes == OI_HIGHLY_CPU
+
+        m_dec = norm & ~futile & (~not_hm | (not_hm & (verdict == VERDICT_WITHIN)))
+        m_res = (
+            norm
+            & ~futile
+            & not_hm
+            & (
+                ((verdict == VERDICT_AT_BOUNDARY) & highly_cpu & bw_below)
+                | ((verdict == VERDICT_BELOW) & highly_cpu)
+            )
+        )
+        m_inc = (norm & futile) | (
+            norm & ~futile & not_hm & (verdict == VERDICT_BELOW) & ~highly_cpu
+        )
+
+        can_dec = st.cap.decrease(idx[pos_rest[m_dec]])
+        cap_action[pos_rest[m_dec][can_dec]] = LANE_DECREASE
+        can_inc = st.cap.increase(idx[pos_rest[m_inc]])
+        cap_action[pos_rest[m_inc][can_inc]] = LANE_INCREASE
+        st.cap.reset(idx[pos_rest[m_res]])
+        cap_action[pos_rest[m_res]] = LANE_RESET
+
+        return changed, cap_action, unc_action

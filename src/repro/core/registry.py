@@ -72,10 +72,34 @@ __all__ = [
     "policy_label",
     "controller_factory",
     "describe_policies",
+    "vector_tick_form",
 ]
 
 #: Per-socket controller factory, as consumed by the simulation layer.
 ControllerFactory = Callable[[], Controller]
+
+#: Controllers with a registered lane-parallel tick form, keyed by
+#: *exact* type: subclasses (DUFPF, the adaptive-interval variant)
+#: override scalar hooks the vector kernels do not model, so they must
+#: not inherit a parent's vector form.  The value is the ``tick_lanes``
+#: staticmethod the batch engine dispatches to.
+_VECTOR_TICKS: dict[type, Callable] = {
+    DUF: DUF.tick_lanes,
+    DUFP: DUFP.tick_lanes,
+}
+
+
+def vector_tick_form(controller: Controller) -> "Callable | None":
+    """The lane-parallel tick form of ``controller``, or ``None``.
+
+    This is the batch engine's only controller-type probe: a non-None
+    return means ``type(controller)`` registered a ``tick_lanes`` form
+    whose masked vector decisions are bit-identical to the scalar
+    ``tick`` (the differential-equivalence suite enforces it).  Like
+    everything else reaching concrete controller classes, the mapping
+    lives here so ``repro.sim`` never imports them directly.
+    """
+    return _VECTOR_TICKS.get(type(controller))
 
 
 @dataclass(frozen=True)

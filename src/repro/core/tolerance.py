@@ -16,9 +16,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ControllerError
 
-__all__ = ["ToleranceVerdict", "SlowdownTracker"]
+__all__ = [
+    "ToleranceVerdict",
+    "SlowdownTracker",
+    "VERDICT_WITHIN",
+    "VERDICT_AT_BOUNDARY",
+    "VERDICT_BELOW",
+    "SlowdownLanes",
+]
 
 
 class ToleranceVerdict(enum.Enum):
@@ -27,6 +36,11 @@ class ToleranceVerdict(enum.Enum):
     WITHIN = "within"
     AT_BOUNDARY = "at_boundary"
     BELOW = "below"
+
+
+#: Integer verdict codes used by the lane-parallel judge
+#: (:class:`SlowdownLanes`); one per :class:`ToleranceVerdict` member.
+VERDICT_WITHIN, VERDICT_AT_BOUNDARY, VERDICT_BELOW = 0, 1, 2
 
 
 @dataclass
@@ -95,3 +109,44 @@ class SlowdownTracker:
         if value >= self.threshold - band:
             return ToleranceVerdict.AT_BOUNDARY
         return ToleranceVerdict.BELOW
+
+
+class SlowdownLanes:
+    """Lane-parallel mirror of :class:`SlowdownTracker`.
+
+    One instance replaces an array of trackers: ``phase_max`` holds
+    every lane's phase maximum and each method takes a fancy index of
+    the lanes it acts on.  The float expressions replicate the scalar
+    tracker's operation order exactly (``max · (1 − effective)``,
+    ``error · max``) so that a lane-parallel judge is bit-identical to
+    judging each lane with its own :class:`SlowdownTracker` — the
+    batch engine's differential-equivalence suite depends on it.
+    """
+
+    __slots__ = ("phase_max", "_error", "_one_minus_eff")
+
+    def __init__(self, tolerated: np.ndarray, error: np.ndarray):
+        self._error = np.asarray(error, dtype=float)
+        effective = np.maximum(np.asarray(tolerated, dtype=float), self._error)
+        self._one_minus_eff = 1.0 - effective
+        self.phase_max = np.zeros(len(self._error))
+
+    def reset(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Start a new phase on ``idx``; ``values`` seed the maxima."""
+        self.phase_max[idx] = values
+
+    def observe(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Fold new samples into the phase maxima of ``idx``."""
+        self.phase_max[idx] = np.maximum(self.phase_max[idx], values)
+
+    def judge(self, idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Verdict codes for ``values`` on ``idx`` (no observation)."""
+        pm = self.phase_max[idx]
+        threshold = pm * self._one_minus_eff[idx]
+        band = self._error[idx] * pm
+        out = np.full(len(idx), VERDICT_BELOW, dtype=np.int8)
+        out[values >= threshold - band] = VERDICT_AT_BOUNDARY
+        out[values >= threshold + 0.5 * band] = VERDICT_WITHIN
+        # Nothing measured yet this phase: no basis to hold back.
+        out[pm <= 0.0] = VERDICT_WITHIN
+        return out

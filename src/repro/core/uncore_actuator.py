@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import ControllerConfig, UncoreConfig
 from ..hardware.msr import MSR, set_bits
 from ..interfaces.msr_tools import MSRTools
 
-__all__ = ["UncoreActuator"]
+__all__ = ["UncoreActuator", "UncoreLanes"]
 
 RATIO_HZ = 100e6
 
@@ -100,3 +102,79 @@ class UncoreActuator:
         self.msr.wrmsr(
             MSR.MSR_UNCORE_RATIO_LIMIT, set_bits(set_bits(0, 6, 0, hi), 14, 8, lo)
         )
+
+
+class UncoreLanes:
+    """Lane-parallel mirror of :class:`UncoreActuator`.
+
+    ``pin`` is the programmed ratio limit per lane (what
+    :attr:`UncoreActuator.pinned_freq_hz` reads back).  The window and
+    frequency arrays are *views into the batch engine's state*: a pin
+    here is the vector equivalent of the MSR 0x620 write plus the
+    driver's window snap, which — for ratio-grid frequencies between
+    the socket's min and max — lands on the identical float.
+
+    ``any_moved`` flags that some lane's pin actually changed value, so
+    the batch engine knows to refresh its uncore-derived caches.
+    """
+
+    __slots__ = (
+        "pin",
+        "_win_lo",
+        "_win_hi",
+        "_freq",
+        "_min_hz",
+        "_max_hz",
+        "_step_hz",
+        "any_moved",
+    )
+
+    def __init__(
+        self,
+        *,
+        pin: np.ndarray,
+        win_lo: np.ndarray,
+        win_hi: np.ndarray,
+        freq: np.ndarray,
+        min_hz: float,
+        max_hz: float,
+        step_hz: np.ndarray,
+    ):
+        self.pin = pin
+        self._win_lo = win_lo
+        self._win_hi = win_hi
+        self._freq = freq
+        self._min_hz = min_hz
+        self._max_hz = max_hz
+        self._step_hz = np.asarray(step_hz, dtype=float)
+        self.any_moved = False
+
+    def _pin_to(self, idx: np.ndarray, freq_hz: np.ndarray) -> None:
+        clamped = np.minimum(np.maximum(freq_hz, self._min_hz), self._max_hz)
+        new_pin = np.rint(clamped / RATIO_HZ) * RATIO_HZ
+        if not np.array_equal(new_pin, self.pin[idx]):
+            self.any_moved = True
+        self.pin[idx] = new_pin
+        self._win_lo[idx] = new_pin
+        self._win_hi[idx] = new_pin
+        # The driver clamps the running frequency into the new window
+        # immediately, exactly as a pinned scalar write does.
+        self._freq[idx] = new_pin
+
+    def decrease(self, idx: np.ndarray) -> np.ndarray:
+        """One step down per lane; ``False`` marks lanes at the minimum."""
+        can = self.pin[idx] > self._min_hz
+        sub = idx[can]
+        self._pin_to(sub, self.pin[sub] - self._step_hz[sub])
+        return can
+
+    def increase(self, idx: np.ndarray) -> np.ndarray:
+        """One step up per lane; ``False`` marks lanes at the maximum."""
+        can = self.pin[idx] < self._max_hz
+        sub = idx[can]
+        self._pin_to(sub, self.pin[sub] + self._step_hz[sub])
+        return can
+
+    def reset(self, idx: np.ndarray) -> None:
+        """Pin every lane in ``idx`` back to the maximum frequency."""
+        self._pin_to(idx, np.full(len(idx), self._max_hz))

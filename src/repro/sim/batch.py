@@ -18,6 +18,13 @@ The design is a synced facade, not a reimplementation of the stack:
   Just before a run's controller tick becomes due, the lane arrays are
   *scattered* back into that run's objects; after the tick the
   actuator state is *gathered* back out.
+* Fault-free runs whose controllers all publish a lane-parallel tick
+  form (:func:`repro.core.registry.vector_tick_form`) skip the
+  per-tick scatter/gather entirely: measurement, decision and
+  actuation execute as masked vector ops directly on the lane arrays
+  (see :func:`controller_lane_fallback_reason` for the eligibility
+  rules).  The scalar object graph of such a run is synced once, when
+  the run finishes, and stays the differential-equivalence oracle.
 
 The contract — enforced by ``tests/test_batch_equivalence.py`` — is
 numerical identity with the scalar engine: exact for every integer and
@@ -40,14 +47,27 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.base import TickLog
+from ..core.capping import CapLanes
+from ..core.detector import PhaseDetectorLanes
+from ..core.duf import LANE_ACTIONS, LaneControllerState
+from ..core.registry import vector_tick_form
+from ..core.tolerance import SlowdownLanes
+from ..core.uncore_actuator import UncoreLanes
 from ..errors import SimulationError
 from ..hardware.dvfs import PerformanceGovernor, PowersaveGovernor
 from ..hardware.uncore import DefaultUncoreGovernor
+from ..papi.events import CACHE_LINE_BYTES
 from ..units import smooth_max
 from .engine import _DONE_EPS, _MIN_SLICE_S, RunContext, SimulationEngine
 from .result import PhaseSpan, RunResult, TraceSample
 
-__all__ = ["BatchSimulationEngine", "run_batch", "batch_fallback_reason"]
+__all__ = [
+    "BatchSimulationEngine",
+    "run_batch",
+    "batch_fallback_reason",
+    "controller_lane_fallback_reason",
+]
 
 
 def batch_fallback_reason(engine: SimulationEngine) -> str | None:
@@ -69,6 +89,39 @@ def batch_fallback_reason(engine: SimulationEngine) -> str | None:
             return (
                 f"non-default uncore governor {type(proc.uncore.governor).__name__}"
             )
+    return None
+
+
+def controller_lane_fallback_reason(engine: SimulationEngine) -> str | None:
+    """Why ``engine``'s ticks cannot run lane-parallel (``None``: they can).
+
+    A run stays inside the batch either way; this only decides whether
+    its controller ticks execute as masked vector ops or through the
+    per-run scatter/gather sync.  The vector path requires:
+
+    * no active fault plan — injected meter/tick/latch faults flow
+      through the scalar runtime's degraded-telemetry machinery, which
+      only the real object graph implements;
+    * every controller registered a lane-parallel tick form (exact
+      type match: subclasses carry extra state the vector forms do not
+      model and fall back automatically);
+    * ``cap_floor_w`` at or above the RAPL minimum limit — a lower
+      floor makes the scalar actuator raise ``RAPLError`` through the
+      powercap zone, a behaviour the vector path must not paper over.
+    """
+    if engine.faults is not None and engine.faults.active:
+        return "active fault plan needs the scalar telemetry stack"
+    for ctrl in engine.controllers:
+        if vector_tick_form(ctrl) is None:
+            return (
+                f"controller {type(ctrl).__name__} has no vector tick form"
+            )
+    min_limit = min(p.rapl.cfg.min_limit_w for p in engine.machine.processors)
+    if engine.controller_cfg.cap_floor_w < min_limit:
+        return (
+            f"cap_floor_w {engine.controller_cfg.cap_floor_w} W below the "
+            f"RAPL minimum limit {min_limit} W (scalar path raises)"
+        )
     return None
 
 
@@ -242,6 +295,14 @@ class BatchSimulationEngine:
         self.g_resp = np.array([g.response for g in gov])
         self.sharpness = [p.perf.overlap_sharpness for p in self.procs]
         self._smax_cache: dict[tuple[float, float, float], float] = {}
+        # Last ``(t_c, t_m) -> t`` per lane: between clock or phase
+        # moves a lane's roofline inputs repeat for many steps, so the
+        # scalar ``smooth_max`` loop only visits lanes whose inputs
+        # actually changed (see ``_phase_time``).  NaN never compares
+        # equal, so fresh lanes always recompute.
+        self._sm_tc = np.full(L, np.nan)
+        self._sm_tm = np.full(L, np.nan)
+        self._sm_t = np.zeros(L, dtype=np.float64)
         self._exp_cache: dict[float, float] = {}
         # Phase-time memo (see ``_phase_time``) and the log of lanes
         # whose phase changed since an entry was stored.
@@ -364,6 +425,128 @@ class BatchSimulationEngine:
         self.alive = np.ones(R, dtype=bool)
         self._lanes_left = [len(lanes) for lanes in self.run_lanes]
         self._maybe_done: list[int] = []
+        self._init_lane_controllers(ctxs)
+
+    def _init_lane_controllers(self, ctxs: list[RunContext]) -> None:
+        """Build the lane-parallel controller state for eligible runs.
+
+        Runs that fail :func:`controller_lane_fallback_reason` keep the
+        per-run scatter/gather tick; their lanes simply never appear in
+        the index arrays handed to the vector tick forms.
+        """
+        engines = self.engines
+        L = self.L
+        self._vec_run = [
+            controller_lane_fallback_reason(e) is None for e in engines
+        ]
+        self._any_vec = any(self._vec_run)
+        if not self._any_vec:
+            return
+
+        # Per-run tick parameters (the runtime's measurement loop).
+        self._interval = [e.controller_cfg.interval_s for e in engines]
+        self._rngs = [ctx.rng for ctx in ctxs]
+        self._counter_noise = [e.noise.counter_noise for e in engines]
+        self._power_noise = [e.noise.power_noise for e in engines]
+
+        # Per-lane controllers and their vector tick forms, dispatched
+        # by a small integer code so one due set groups by form.
+        self.ctrls = [c for e in engines for c in e.controllers]
+        self._tick_forms: list = []
+        codes: dict = {}
+        self.ctrl_kind = np.zeros(L, dtype=np.int8)
+        for l, ctrl in enumerate(self.ctrls):
+            form = vector_tick_form(ctrl)
+            if form is None:
+                continue
+            code = codes.get(form)
+            if code is None:
+                code = codes[form] = len(self._tick_forms)
+                self._tick_forms.append(form)
+            self.ctrl_kind[l] = code
+
+        def cfg_arr(name: str) -> np.ndarray:
+            return np.array(
+                [
+                    getattr(engines[r].controller_cfg, name)
+                    for r in self.run_of_list
+                ]
+            )
+
+        # Mirrors of the PAPI event-set counters: the raw integer reads
+        # latched at meter start (all counters are zero there, but the
+        # mirrors are derived through the same read formulas so the
+        # invariant is by construction, not by assumption).
+        rc = self.procs[0].rapl.cfg
+        self._e_unit = rc.energy_unit_j
+        self._e_span = float(1 << rc.counter_bits)
+        self._e_wrap = float(
+            int((1 << rc.counter_bits) * rc.energy_unit_j * 1e9)
+        )
+        self._mt_f = np.trunc(self.flops_ret)
+        self._mt_c = np.trunc(self.bytes_trans / float(CACHE_LINE_BYTES))
+        self._mt_p = self._energy_raw_nj(self.e_pkg)
+        self._mt_d = self._energy_raw_nj(self.e_dram)
+
+        # The actuator pin points as the attach hooks left them.
+        pin = np.zeros(L)
+        for r, lanes in enumerate(self.run_lanes):
+            for s, l in enumerate(lanes):
+                pin[l] = ctxs[r].runtime.contexts[s].uncore.pinned_freq_hz
+
+        tol = cfg_arr("tolerated_slowdown")
+        err = cfg_arr("measurement_error")
+        self._lane_state = LaneControllerState(
+            detector=PhaseDetectorLanes(cfg_arr("phase_flops_jump")),
+            uncore=UncoreLanes(
+                pin=pin,
+                win_lo=self.win_lo,
+                win_hi=self.win_hi,
+                freq=self.ufreq,
+                min_hz=self.umin,
+                max_hz=self.umax,
+                step_hz=cfg_arr("uncore_step_hz"),
+            ),
+            flops=SlowdownLanes(tol, err),
+            bandwidth=SlowdownLanes(tol, err),
+            last_increase_flops=np.full(L, np.nan),
+            cap=CapLanes(
+                pl1_w=self.pl1_w,
+                pl1_win=self.pl1_win,
+                pl2_win=self.pl2_win,
+                rapl_now=self.rapl_now,
+                pend_due=self.pend_due,
+                pend1_w=self.pend1_w,
+                pend1_win=self.pend1_win,
+                pend2_w=self.pend2_w,
+                pend2_win=self.pend2_win,
+                step_w=cfg_arr("cap_step_w"),
+                floor_w=cfg_arr("cap_floor_w"),
+                default_w=rc.pl1_default_w,
+                default_pl2_w=rc.pl2_default_w,
+                default_win1=rc.pl1_window_s,
+                default_win2=rc.pl2_window_s,
+                delay_s=rc.actuation_delay_s,
+            ),
+            cap_flops=SlowdownLanes(tol, err),
+            cap_bw=SlowdownLanes(tol, err),
+            joint_reset_pending=np.zeros(L, dtype=bool),
+            measurement_error=err,
+            oi_highly_memory=cfg_arr("oi_highly_memory"),
+            oi_memory_boundary=cfg_arr("oi_memory_boundary"),
+            oi_highly_cpu=cfg_arr("oi_highly_cpu"),
+        )
+
+    def _energy_raw_nj(self, energy_j: np.ndarray) -> np.ndarray:
+        """The PAPI rapl component's raw nJ read, vectorized.
+
+        Mirrors ``int(domain.counter * energy_unit_j * 1e9)`` with
+        ``counter = int(energy_j / unit) % 2**bits``; every quantity is
+        a non-negative integer below 2**53, so ``np.trunc``/``np.mod``
+        reproduce the Python ``int()``/``%`` bit-for-bit.
+        """
+        counter = np.mod(np.trunc(energy_j / self._e_unit), self._e_span)
+        return np.trunc((counter * self._e_unit) * 1e9)
 
     def _load_phase(self, l: int) -> None:
         (
@@ -473,13 +656,21 @@ class BatchSimulationEngine:
             # is an exact pre-filter for the array comparison.
             if now + 1e-12 >= next_due:
                 due = np.nonzero(alive & (now + 1e-12 >= self.next_tick))[0]
+                vec_due: list[int] = []
+                sg = False
                 for r in due:
+                    if self._vec_run[r]:
+                        vec_due.append(r)
+                        continue
                     ctx = ctxs[r]
                     self._scatter(r)
                     ctx.runtime.on_time(now)
                     self._gather(r)
                     self.next_tick[r] = ctx.runtime._next_tick_s
-                if len(due):
+                    sg = True
+                if vec_due:
+                    self._tick_lanes(vec_due, now)
+                if sg:
                     self._after_gather()
                 next_due = float(self.next_tick.min())
             if self._maybe_done:
@@ -492,6 +683,8 @@ class BatchSimulationEngine:
                         # objects.
                         self._scatter(r)
                         ctx = ctxs[r]
+                        if self._vec_run[r]:
+                            self._sync_lane_controllers(r, ctx)
                         if ctx.sink is not None:
                             ctx.sink.close()
                             closed.add(r)
@@ -531,6 +724,164 @@ class BatchSimulationEngine:
                         temperature_c=temps[l] if temps is not None else None,
                     ),
                 )
+
+    # -- lane-parallel controller ticks ------------------------------------------------
+    #
+    # The vector mirror of ``ControllerRuntime.on_time`` for eligible
+    # runs: the measurement interval, the PAPI counter reads, the noise
+    # draws and the controller decision all execute on the lane arrays,
+    # with no scatter/gather.  Eligibility
+    # (``controller_lane_fallback_reason``) guarantees the scalar
+    # degraded-telemetry branches are unreachable: no injector means the
+    # meter never raises and never returns non-finite rates, so every
+    # tick takes the clean path — interval ``dt = interval + (now -
+    # next_tick)`` with no debt or jitter, one measurement, one tick.
+
+    def _tick_lanes(self, runs: list[int], now: float) -> None:
+        """Fire the due controller ticks of ``runs`` on the lane arrays."""
+        lanes: list[int] = []
+        dts: list[float] = []
+        for r in runs:
+            interval = self._interval[r]
+            dt_r = interval + (now - self.next_tick[r])
+            for l in self.run_lanes[r]:
+                lanes.append(l)
+                dts.append(dt_r)
+            self.next_tick[r] = now + interval
+        idx = np.array(lanes)
+        dt = np.array(dts)
+
+        # EventSet.read_reset: raw integer counter reads and deltas
+        # against the mirrors (RAPL nJ deltas modulo the wrap range).
+        raw_f = np.trunc(self.flops_ret[idx])
+        raw_c = np.trunc(self.bytes_trans[idx] / float(CACHE_LINE_BYTES))
+        raw_p = self._energy_raw_nj(self.e_pkg[idx])
+        raw_d = self._energy_raw_nj(self.e_dram[idx])
+        d_f = raw_f - self._mt_f[idx]
+        d_c = raw_c - self._mt_c[idx]
+        d_p = np.mod(raw_p - self._mt_p[idx], self._e_wrap)
+        d_d = np.mod(raw_d - self._mt_d[idx], self._e_wrap)
+        self._mt_f[idx] = raw_f
+        self._mt_c[idx] = raw_c
+        self._mt_p[idx] = raw_p
+        self._mt_d[idx] = raw_d
+
+        # IntervalMeter.sample: deltas -> rates, in the scalar
+        # association order.
+        fl = d_f / dt
+        by = (d_c * float(CACHE_LINE_BYTES)) / dt
+        pk = (d_p * 1e-9) / dt
+        dr = (d_d * 1e-9) / dt
+
+        # Measurement noise consumes each run's shared generator in the
+        # scalar draw order — per socket: flops, bytes, pkg, dram —
+        # with the zero-value and zero-sigma draws skipped identically.
+        # ``standard_normal(k)`` consumes the bit stream exactly like
+        # ``k`` scalar draws, so each run's draws collapse to one call.
+        fll, byl = fl.tolist(), by.tolist()
+        pkl, drl = pk.tolist(), dr.tolist()
+        pos = 0
+        targets: list[tuple[list, int, float]] = []
+        for r in runs:
+            rng = self._rngs[r]
+            cn = self._counter_noise[r]
+            pn = self._power_noise[r]
+            del targets[:]
+            for _ in self.run_lanes[r]:
+                if cn > 0.0:
+                    if fll[pos] != 0.0:
+                        targets.append((fll, pos, cn))
+                    if byl[pos] != 0.0:
+                        targets.append((byl, pos, cn))
+                if pn > 0.0:
+                    if pkl[pos] != 0.0:
+                        targets.append((pkl, pos, pn))
+                    if drl[pos] != 0.0:
+                        targets.append((drl, pos, pn))
+                pos += 1
+            if targets:
+                draws = rng.standard_normal(len(targets)).tolist()
+                for (lst, i, sigma), z in zip(targets, draws):
+                    lst[i] = max(lst[i] * (1.0 + sigma * z), 0.0)
+        # ``dr`` exists only for noise-stream parity (no controller
+        # reads the DRAM rate), so only the other three rebuild.
+        fl, by = np.array(fll), np.array(byl)
+        pk = np.array(pkl)
+
+        # Measurement.operational_intensity (inf on no memory traffic).
+        oi = np.where(by <= 0.0, np.inf, fl / by)
+
+        # Dispatch per controller kind (runs usually share one form).
+        st = self._lane_state
+        kinds = self.ctrl_kind[idx]
+        for code in np.unique(kinds):
+            pos_k = np.flatnonzero(kinds == code)
+            sub = idx[pos_k]
+            changed, cap_act, unc_act = self._tick_forms[code](
+                st, sub, fl[pos_k], by[pos_k], pk[pos_k], oi[pos_k]
+            )
+            self._log_lane_ticks(now, sub, changed, cap_act, unc_act)
+
+        # Cache maintenance the scalar path performs via ``_gather`` /
+        # ``_after_gather``: staged cap writes re-arm the pending-latch
+        # scan; moved uncore pins invalidate the uncore-derived
+        # constants and the roofline reuse cache.  ``perf_ctl`` and the
+        # latched limits never move on this path, so the effective-
+        # clock caches stay valid.
+        if st.cap.wrote_pending:
+            st.cap.wrote_pending = False
+            self._any_pending = True
+        if st.uncore.any_moved:
+            st.uncore.any_moved = False
+            self._refresh_uncore()
+            self._t_cache = None
+
+    def _log_lane_ticks(
+        self,
+        now: float,
+        idx: np.ndarray,
+        changed: np.ndarray,
+        cap_act: np.ndarray | None,
+        unc_act: np.ndarray,
+    ) -> None:
+        """Append each lane's :class:`TickLog`, as the scalar tick does.
+
+        ``cap_w`` reads the *latched* PL1 limit (pending writes from
+        this very tick have not taken effect — same as the scalar
+        ``ctx.cap.cap_w`` read at log time); ``uncore_hz`` reads the
+        post-action pin (the scalar MSR write is immediate).
+        """
+        ctrls = self.ctrls
+        pl1 = self.pl1_w[idx].tolist()
+        pin = self._lane_state.uncore.pin[idx].tolist()
+        ch = changed.tolist()
+        ca = (
+            [LANE_ACTIONS[c] for c in cap_act.tolist()]
+            if cap_act is not None
+            else ["hold"] * len(idx)
+        )
+        ua = [LANE_ACTIONS[c] for c in unc_act.tolist()]
+        for i, l in enumerate(idx.tolist()):
+            ctrls[l].ticks.append(
+                TickLog(now, pl1[i], pin[i], ch[i], ca[i], ua[i])
+            )
+
+    def _sync_lane_controllers(self, r: int, ctx: RunContext) -> None:
+        """Replay a finished vector run's actuations into its objects.
+
+        ``_scatter`` already synced everything the arrays track; what
+        remains is the actuator-owned state the scalar tick would have
+        written through the real objects: the uncore pin (MSR 0x620
+        plus the driver's window snap — idempotent when re-applied) and
+        the cap actuator's ``just_reset`` latch.  Controller-internal
+        tracker state (phase maxima, detector history) is deliberately
+        not synced: nothing observable reads it after the run ends.
+        """
+        st = self._lane_state
+        for s, l in enumerate(self.run_lanes[r]):
+            sctx = ctx.runtime.contexts[s]
+            sctx.uncore._pin(float(st.uncore.pin[l]))
+            sctx.cap.just_reset = bool(st.cap.just_reset[l])
 
     # -- one macro step, all lanes ---------------------------------------------------
 
@@ -792,12 +1143,28 @@ class BatchSimulationEngine:
         t = np.where(t_m == 0.0, t_c, np.where(t_c == 0.0, t_m, np.nan))
         hole = need & np.isnan(t)
         if hole.any():
-            smax = self._smax
-            sharp = self.sharpness
-            tcl = t_c.tolist()
-            tml = t_m.tolist()
-            for l in np.nonzero(hole)[0].tolist():
-                t[l] = smax(tcl[l], tml[l], sharp[l])
+            # Reuse each lane's last smooth_max result while its
+            # roofline inputs are unchanged; only moved lanes take the
+            # scalar loop (bit-identity needs ``math``'s pow, and
+            # ``np.power`` differs by ulps).
+            same = hole & (t_c == self._sm_tc) & (t_m == self._sm_tm)
+            np.copyto(t, self._sm_t, where=same)
+            todo = hole & ~same
+            if todo.any():
+                smax = self._smax
+                sharp = self.sharpness
+                idxs = np.nonzero(todo)[0].tolist()
+                if len(idxs) > 32:
+                    tcl = t_c.tolist()
+                    tml = t_m.tolist()
+                    for l in idxs:
+                        t[l] = smax(tcl[l], tml[l], sharp[l])
+                else:
+                    for l in idxs:
+                        t[l] = smax(t_c.item(l), t_m.item(l), sharp[l])
+                np.copyto(self._sm_tc, t_c, where=todo)
+                np.copyto(self._sm_tm, t_m, where=todo)
+                np.copyto(self._sm_t, t, where=todo)
         if self._u_static:
             self._pt_memo[key] = [len(self._pt_dirty_log), t, t_c]
         return t, t_c

@@ -6,6 +6,7 @@ from typing import Callable
 
 from ..config import ControllerConfig, EngineConfig, NoiseConfig
 from ..core.base import Controller
+from ..errors import SimulationError
 from ..workloads.application import Application
 from .engine import SimulationEngine
 from .faults import FaultPlan
@@ -66,6 +67,7 @@ def run_application(
     record_trace: bool = True,
     trace_sink: TraceSink | None = None,
     faults: FaultPlan | None = None,
+    engine: str = "scalar",
 ):
     """Simulate ``application`` with a fresh controller per socket.
 
@@ -78,8 +80,16 @@ def run_application(
     :mod:`repro.sim.trace`).  ``faults`` injects a seeded
     :class:`~repro.sim.faults.FaultPlan`; ``None`` (or an all-zero
     plan) is the byte-identical fault-free path.
+
+    ``engine`` selects the execution strategy: ``"scalar"`` runs the
+    per-tick loop, ``"batch"`` routes the run through the vectorized
+    engine (:mod:`repro.sim.batch`) — numerically identical, and
+    lane-parallel controller ticks where the policy supports them (see
+    ``docs/BATCHING.md``).
     """
-    return build_engine(
+    if engine not in ("scalar", "batch"):
+        raise SimulationError(f"unknown engine {engine!r}")
+    built = build_engine(
         application,
         controller_factory,
         controller_cfg=controller_cfg,
@@ -91,4 +101,9 @@ def run_application(
         record_trace=record_trace,
         trace_sink=trace_sink,
         faults=faults,
-    ).run()
+    )
+    if engine == "batch":
+        from .batch import run_batch
+
+        return run_batch([built])[0]
+    return built.run()

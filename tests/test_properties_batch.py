@@ -11,7 +11,15 @@ lockstep execution must preserve:
 * results are invariant to batch *order* — a run's outcome depends
   only on its own configuration, never on its neighbours;
 * results are invariant to batch *splitting* — one batch of N equals
-  any partition of the same engines into smaller batches.
+  any partition of the same engines into smaller batches;
+* a batch of one equals the scalar run, trace for trace — for every
+  policy spec, fault plan, and noise setting, whether the run takes
+  the lane-parallel controller path or the scatter/gather fallback;
+* the lane-parallel/fallback routing decision
+  (:func:`~repro.sim.batch.controller_lane_fallback_reason`) is exact:
+  ``None`` for clean DUF/DUFP runs, a named reason for everything
+  else, and lane *permutation* on eligible batches never leaks one
+  lane's state into another.
 
 Hypothesis examples simulate full (short) applications, so the heavy
 sweeps carry the ``slow`` marker; a small deterministic smoke case
@@ -25,13 +33,14 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import ControllerConfig, NoiseConfig, SocketConfig
 from repro.core.registry import as_spec
-from repro.sim.batch import run_batch
+from repro.sim.batch import controller_lane_fallback_reason, run_batch
 from repro.sim.faults import FaultPlan
 from repro.sim.run import build_engine
 from repro.workloads.catalog import application_names, build_application
 
 BOUNDS = SocketConfig()
 QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+NOISY = NoiseConfig()  # the defaults: jitter, counter and power noise on
 SLOW = settings(
     max_examples=10,
     deadline=None,
@@ -42,6 +51,16 @@ SLOW = settings(
 #: watt budget is composition-dependent; it has dedicated differential
 #: coverage in test_batch_equivalence.py).
 POLICIES = ("default", "duf", "dufp", "dufpf", "static", "uncore", "dnpc")
+
+#: Policy selections for the scalar/vector equality sweep: the plain
+#: names plus parameterized ``name:k=v`` specs and a DUFP subclass, so
+#: non-default policy params and the automatic fallback for subclassed
+#: controllers both get differential coverage.
+SPECS = POLICIES + ("static:cap_w=90", "dufp-adaptive")
+
+#: Members guaranteed eligible for lane-parallel controller ticks:
+#: clean (fault-free) DUF/DUFP runs.
+VECTOR_POLICIES = ("duf", "dufp")
 
 plans = st.sampled_from(
     [
@@ -61,14 +80,32 @@ members = st.tuples(
 
 compositions = st.lists(members, min_size=2, max_size=6)
 
+spec_members = st.tuples(
+    st.sampled_from(SPECS),
+    st.sampled_from(sorted(application_names())),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from((0.0, 0.05, 0.10, 0.20)),
+    plans,
+)
 
-def _build(policy, app, seed, tol, plan, scale=0.06):
-    cfg = ControllerConfig(tolerated_slowdown=tol)
+vector_members = st.tuples(
+    st.sampled_from(VECTOR_POLICIES),
+    st.sampled_from(sorted(application_names())),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from((0.0, 0.05, 0.10, 0.20)),
+    st.none(),
+)
+
+vector_compositions = st.lists(vector_members, min_size=2, max_size=6)
+
+
+def _build(policy, app, seed, tol, plan, scale=0.06, noise=QUIET, **cfg_kwargs):
+    cfg = ControllerConfig(tolerated_slowdown=tol, **cfg_kwargs)
     return build_engine(
         build_application(app, scale=scale),
         as_spec(policy).build(cfg),
         controller_cfg=cfg,
-        noise=QUIET,
+        noise=noise,
         seed=seed,
         faults=plan,
     )
@@ -155,6 +192,82 @@ def test_batch_split_invariance(comp, split):
     chunked = run_batch([_build(*m) for m in comp], max_batch=split)
     for a, b in zip(whole, chunked):
         assert _signature(a) == _signature(b)
+
+
+@pytest.mark.slow
+@given(m=spec_members)
+@SLOW
+def test_scalar_batch_trace_equality_random(m):
+    """A batch of one equals the scalar run for any policy spec + plan.
+
+    Samples the full spec space — parameterized policies, subclassed
+    controllers, fault plans — so both the lane-parallel path and the
+    scatter/gather fallback are held to the same trace-for-trace
+    equality the example-based differential suite pins.
+    """
+    scalar = _build(*m).run()
+    [batched] = run_batch([_build(*m)])
+    assert _signature(batched) == _signature(scalar)
+
+
+@pytest.mark.slow
+@given(comp=vector_compositions, order_seed=st.integers(min_value=0, max_value=999))
+@SLOW
+def test_lane_permutation_invariance(comp, order_seed):
+    """Lane order never leaks between vector-eligible runs.
+
+    Every member is a clean DUF/DUFP run, so the whole batch takes
+    the lane-parallel controller path (asserted, not assumed) — with
+    full noise on, exercising the batched per-run RNG draws.
+    """
+    import random
+
+    engines = [_build(*m, noise=NOISY) for m in comp]
+    assert all(controller_lane_fallback_reason(e) is None for e in engines)
+    perm = list(range(len(comp)))
+    random.Random(order_seed).shuffle(perm)
+    straight = run_batch(engines)
+    shuffled = run_batch([_build(*comp[i], noise=NOISY) for i in perm])
+    for out_pos, in_pos in enumerate(perm):
+        assert _signature(shuffled[out_pos]) == _signature(straight[in_pos])
+
+
+def test_lane_fallback_reasons():
+    """The lane-parallel/scatter routing decision is exact and named."""
+    for policy in VECTOR_POLICIES:
+        assert controller_lane_fallback_reason(_build(policy, "EP", 1, 0.05, None)) is None
+    # An all-zero plan injects nothing and keeps the vector path.
+    assert (
+        controller_lane_fallback_reason(_build("duf", "EP", 1, 0.05, FaultPlan()))
+        is None
+    )
+    # Exact-type registry: subclasses (dufpf, dufp-adaptive) fall back
+    # alongside genuinely scalar-only controllers.
+    for policy in ("default", "dufpf", "dufp-adaptive", "static", "uncore", "dnpc"):
+        reason = controller_lane_fallback_reason(_build(policy, "EP", 1, 0.05, None))
+        assert reason is not None and "no vector tick form" in reason
+    reason = controller_lane_fallback_reason(
+        _build("dufp", "EP", 1, 0.05, FaultPlan(msr_read_fail_rate=0.05))
+    )
+    assert reason is not None and "fault plan" in reason
+    reason = controller_lane_fallback_reason(
+        _build("dufp", "EP", 1, 0.05, None, cap_floor_w=30.0)
+    )
+    assert reason is not None and "RAPL minimum" in reason
+
+
+def test_scalar_batch_trace_equality_deterministic():
+    """Tier-1 pin: noisy scalar and batch runs agree trace for trace.
+
+    Full default noise makes this cover the batched RNG draws on the
+    lane-parallel path; one DUF and one DUFP cell keep it fast.
+    """
+    for policy, app, seed, tol in (("duf", "CG", 5, 0.05), ("dufp", "EP", 7, 0.10)):
+        probe = _build(policy, app, seed, tol, None, noise=NOISY)
+        assert controller_lane_fallback_reason(probe) is None
+        scalar = _build(policy, app, seed, tol, None, noise=NOISY).run()
+        [batched] = run_batch([_build(policy, app, seed, tol, None, noise=NOISY)])
+        assert _signature(batched) == _signature(scalar)
 
 
 def test_smoke_properties_deterministic():
