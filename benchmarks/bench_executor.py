@@ -1,11 +1,11 @@
 """Executor benchmarks: parallel speedup and warm-cache latency.
 
-Times the same reduced sweep grid four ways — serial, process-pool
-parallel, single-process batch-engine, and warm-cache — so the
-scaling the executor exists for is measured, not assumed.  Asserts
-the invariants the layer guarantees: parallel and batch results are
-bit-identical to serial, and a warm rerun executes zero protocol
-cells.
+Times the same reduced sweep grid five ways — serial, process-pool
+parallel, single-process batch-engine, batch-sharded multiprocess,
+and warm-cache — so the scaling the executor exists for is measured,
+not assumed.  Asserts the invariants the layer guarantees: parallel,
+batch, and sharded results are bit-identical to serial, and a warm
+rerun executes zero protocol cells.
 """
 
 from __future__ import annotations
@@ -60,6 +60,30 @@ def test_sweep_batch_engine_matches_serial(benchmark):
     assert_shape(
         batch.comparisons == serial.comparisons,
         "batch-engine sweep is numerically identical to serial scalar",
+    )
+
+
+def test_sweep_sharded_batch_matches_serial(benchmark):
+    """The tentpole path: shard-level lockstep batches, stolen dynamically.
+
+    At least two workers even on a one-core machine, so the sharded
+    pool path (not the serial fallback) is what gets measured.
+    """
+    serial = run_sweep(**GRID, workers=1)
+    sharded = benchmark.pedantic(
+        lambda: run_sweep(
+            **GRID, engine="batch", workers=max(2, WORKERS), shard_size=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_shape(
+        sharded.comparisons == serial.comparisons,
+        "sharded multi-worker batch sweep is bit-identical to serial",
+    )
+    assert_shape(
+        sharded.execution.shard_count >= 1,
+        "sharded sweep reports its shard plan",
     )
 
 

@@ -14,10 +14,12 @@ Controllers are selected from the policy registry by id, optionally
 with parameters: ``--controller budget:watts=95,period_ticks=3``.
 ``repro policies`` lists every registered policy with its parameters.
 
-Any sweep-backed experiment accepts ``--workers N`` (process-pool
-fan-out over grid cells; results are identical at any worker count)
-and ``--cache DIR`` (content-addressed result cache: warm reruns and
-interrupted sweeps skip already-computed cells).
+Any sweep-backed experiment accepts ``--workers N`` (batch-sharded
+fan-out over grid cells; results are identical at any worker count),
+``--shard-size N`` (max cells per worker shard) and ``--cache DIR``
+(content-addressed result cache: warm reruns and interrupted sweeps
+skip already-computed cells; completed shards write through as the
+sweep runs).
 """
 
 from __future__ import annotations
@@ -72,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             default=None,
             help="content-addressed result cache directory",
+        )
+        p.add_argument(
+            "--shard-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "max grid cells per worker shard (default: auto, ~3 "
+                "shards per worker); smaller shards steal better, "
+                "larger ones batch better"
+            ),
         )
         if exp_id == "sweep":
             p.add_argument(
@@ -144,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--runs", type=int, default=10)
     p_export.add_argument("--workers", type=int, default=1)
     p_export.add_argument("--cache", metavar="DIR", default=None)
+    p_export.add_argument("--shard-size", type=int, default=None, metavar="N")
 
     p_hetero = sub.add_parser(
         "hetero", help="CPU+GPU shared-budget demo (paper §VII future work)"
@@ -257,6 +271,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         engine=args.engine,
         workers=args.workers,
         cache=args.cache,
+        shard_size=args.shard_size,
     )
     lines = [sweep.render()]
     for label in (as_spec(c).label for c in controllers):
@@ -291,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
                 runs=args.runs,
                 workers=args.workers,
                 cache=args.cache,
+                shard_size=args.shard_size,
             )
             print(f"wrote {len(manifest.files)} files to {manifest.out_dir}/")
         elif args.command == "hetero":
@@ -304,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
                     runs=args.runs,
                     workers=args.workers,
                     cache=args.cache,
+                    shard_size=args.shard_size,
                 )
             )
     except ReproError as exc:

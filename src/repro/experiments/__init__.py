@@ -17,10 +17,14 @@ cache`; ``--workers``/``--cache`` on any experiment reach them.
 from .protocol import ProtocolResult, Comparison, run_protocol, compare
 from .executor import (
     RunSpec,
+    CellReport,
+    ShardReport,
     ExecutionSummary,
     cell_seed,
     spec_key,
     execute_spec,
+    estimate_spec_ticks,
+    plan_shards,
     run_specs,
 )
 from .cache import ResultCache, CacheStats
@@ -39,10 +43,14 @@ __all__ = [
     "run_protocol",
     "compare",
     "RunSpec",
+    "CellReport",
+    "ShardReport",
     "ExecutionSummary",
     "cell_seed",
     "spec_key",
     "execute_spec",
+    "estimate_spec_ticks",
+    "plan_shards",
     "run_specs",
     "ResultCache",
     "CacheStats",

@@ -5,26 +5,41 @@ cell of a sweep, one sensitivity probe — is described by a
 :class:`RunSpec`: a frozen, picklable value object carrying everything
 the run depends on, including the full
 :class:`~repro.core.registry.PolicySpec` (policy id *and* parameters),
-so any registered policy is runnable and cacheable.  :func:`run_specs` fans a batch of specs out over a
+so any registered policy is runnable and cacheable.  :func:`run_specs`
+fans a batch of specs out over a
 :class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` keeps
 the classic in-process serial path) and consults an optional
 :class:`~repro.experiments.cache.ResultCache` first, so warm reruns
 execute nothing at all.
 
+Multi-worker execution is **batch-sharded**: pending cells are
+bin-packed into per-worker shards by estimated simulated-tick count
+(:func:`plan_shards`), each shard runs its batch-engined cells as
+*one* vectorized lockstep batch inside its worker process, and shards
+dispatch dynamically — a worker that drains its shard steals the next
+queued one, so stragglers are absorbed by the ~3× over-decomposition
+instead of defining the critical path.  Completed shards write through
+to the cache immediately, so an interrupted multi-worker sweep keeps
+every finished cell.
+
 Determinism: a spec fully determines its seeds (``noise.seed + 1009·r
 + base_seed``), and :func:`cell_seed` derives ``base_seed`` from the
 cell's *identity* rather than its position in the submission order.
-Serial and parallel executions of the same grid are therefore
-bit-identical, and so are cold and warm (cached) reruns.
+Serial, parallel and sharded executions of the same grid are therefore
+bit-identical — at any worker count, shard size or shard permutation —
+and so are cold and warm (cached) reruns.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from functools import lru_cache
+from typing import Iterator, Sequence
 
 from ..analysis.tables import format_table
 from ..config import (
@@ -37,19 +52,34 @@ from ..config import (
 from ..core.registry import PolicySpec, as_spec, policy_names
 from ..errors import ExperimentError
 from ..sim.faults import FaultPlan
-from .cache import CACHE_SCHEMA, ResultCache
+from .cache import DIGEST_SCHEMA, ResultCache
 from .protocol import ProtocolResult, run_protocol
 
 __all__ = [
     "RunSpec",
     "CellReport",
+    "ShardReport",
     "ExecutionSummary",
     "cell_seed",
     "spec_key",
     "execute_spec",
     "build_spec_protocol",
+    "estimate_spec_ticks",
+    "plan_shards",
     "run_specs",
 ]
+
+#: Shards the planner cuts per worker.  Over-decomposition is what
+#: makes dynamic dispatch a work-stealing scheduler: a worker that
+#: finishes early steals queued shards, so one slow shard costs at
+#: most ~1/OVERSUBSCRIPTION of the ideal per-worker load, not the
+#: whole tail.  Larger values improve balance but shrink the lockstep
+#: batches each shard runs; 3 is a good tradeoff at sweep scale.
+SHARD_OVERSUBSCRIPTION = 3
+
+#: Planner fallback when an application cannot be sized ahead of time
+#: (the estimate only steers bin-packing; results never depend on it).
+_FALLBACK_SIM_S = 60.0
 
 
 @dataclass(frozen=True)
@@ -137,7 +167,10 @@ def spec_key(spec: RunSpec) -> str:
     """The content address of ``spec``'s result.
 
     Covers every config dataclass in the spec plus the package version
-    and cache schema, so editing any constant or upgrading the code
+    and the *digest* schema (:data:`~repro.experiments.cache.
+    DIGEST_SCHEMA` — deliberately not the storage-format version, so
+    entries written before the compressed v2 store keep their
+    addresses), so editing any constant or upgrading the code
     invalidates old entries.  The engine choice is normalised to
     ``"scalar"``: batch and scalar executions of one spec are
     numerically identical, so they share one cache entry (and
@@ -146,7 +179,7 @@ def spec_key(spec: RunSpec) -> str:
     from .. import __version__
 
     return config_digest(
-        {"version": __version__, "schema": CACHE_SCHEMA},
+        {"version": __version__, "schema": DIGEST_SCHEMA},
         replace(spec, label="", engine="scalar"),
     )
 
@@ -178,10 +211,9 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
 def build_spec_protocol(spec: RunSpec):
     """One spec's result shell and unrun repetition engines.
 
-    The single-process batch path uses this to pool the repetition
-    engines of *many* specs into one lockstep batch (see
-    :func:`run_specs`); seeds and wiring match :func:`execute_spec`
-    exactly.
+    The pooled batch paths use this to pool the repetition engines of
+    *many* specs into one lockstep batch (see :func:`run_specs`); seeds
+    and wiring match :func:`execute_spec` exactly.
     """
     from ..workloads.catalog import build_application
     from .protocol import build_protocol
@@ -204,11 +236,185 @@ def build_spec_protocol(spec: RunSpec):
     )
 
 
+# -- cost estimation and shard planning --------------------------------
+
+
+@lru_cache(maxsize=512)
+def _nominal_ticks(
+    app_name: str,
+    app_scale: float,
+    socket: SocketConfig | None,
+    dt_s: float,
+) -> float:
+    """Engine steps one default-configuration run of the app simulates.
+
+    Cached per distinct ``(app, scale, socket, dt)``: a 10k-cell grid
+    usually reuses a handful of applications, so planning stays O(n)
+    dict lookups, not n application builds.  Unknown or unbuildable
+    applications get a flat fallback — the estimate steers bin-packing
+    only, and execution will surface the real error in the worker.
+    """
+    from ..workloads.catalog import build_application
+
+    try:
+        app = build_application(app_name, scale=app_scale, socket=socket)
+        duration_s = app.nominal_duration(socket)
+    except Exception:
+        duration_s = _FALLBACK_SIM_S
+    return max(duration_s / dt_s, 1.0)
+
+
+def estimate_spec_ticks(spec: RunSpec) -> float:
+    """Estimated simulated ticks of one cell, for shard bin-packing.
+
+    ``runs × sockets × nominal-duration/dt``: controller slowdowns
+    (≤ ~20 %) are deliberately ignored — load balance only needs the
+    relative weight of cells, and the estimate must never execute
+    anything.
+    """
+    return (
+        spec.runs
+        * spec.socket_count
+        * _nominal_ticks(
+            spec.app_name, spec.app_scale, spec.socket, spec.engine_cfg.dt_s
+        )
+    )
+
+
+def plan_shards(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int,
+    shard_size: int | None = None,
+) -> list[list[int]]:
+    """Partition ``specs`` into shards (lists of indices) for dispatch.
+
+    Greedy LPT bin-packing on :func:`estimate_spec_ticks`: cells are
+    placed heaviest-first onto the currently-lightest shard, over a
+    target of ``workers × SHARD_OVERSUBSCRIPTION`` shards (never more
+    shards than cells).  ``shard_size`` caps the number of *cells* per
+    shard and raises the shard count when needed — smaller shards
+    steal better but batch less; see docs/EXECUTION.md for sizing
+    guidance.
+
+    The plan is deterministic in the spec list, and — because cell
+    seeds derive from cell identity — execution results are identical
+    under any plan: shard membership only moves work between
+    processes.  Shards come back heaviest-first, the dispatch order
+    that minimises the tail.
+    """
+    n = len(specs)
+    if workers < 1:
+        raise ExperimentError("need at least one worker")
+    if shard_size is not None and shard_size < 1:
+        raise ExperimentError("shard_size must be at least 1")
+    if n == 0:
+        return []
+    target = min(n, workers * SHARD_OVERSUBSCRIPTION)
+    if shard_size is not None:
+        target = max(target, -(-n // shard_size))
+    est = [estimate_spec_ticks(s) for s in specs]
+    members: list[list[int]] = [[] for _ in range(target)]
+    loads = [0.0] * target
+    # (load, shard) heap; shards at the cell cap drop out permanently.
+    heap = [(0.0, si) for si in range(target)]
+    heapq.heapify(heap)
+    for i in sorted(range(n), key=lambda i: (-est[i], i)):
+        load, si = heapq.heappop(heap)
+        members[si].append(i)
+        loads[si] = load + est[i]
+        if shard_size is None or len(members[si]) < shard_size:
+            heapq.heappush(heap, (loads[si], si))
+    plan = [
+        sorted(members[si])
+        for si in sorted(range(target), key=lambda si: -loads[si])
+        if members[si]
+    ]
+    return plan
+
+
+# -- in-process cell execution -----------------------------------------
+
+
 def _execute_timed(spec: RunSpec) -> tuple[ProtocolResult, float]:
-    """Pool target: the result plus its execution time in seconds."""
+    """Solo target: the result plus its execution time in seconds."""
     start = time.perf_counter()
     result = execute_spec(spec)
     return result, time.perf_counter() - start
+
+
+def _solo_ticks(spec: RunSpec, result: ProtocolResult) -> float:
+    """Measured ticks of a solo-executed cell, from per-run wall times."""
+    return sum(result.times_s) * spec.socket_count / spec.engine_cfg.dt_s
+
+
+def _iter_cells(
+    specs: Sequence[RunSpec],
+) -> Iterator[tuple[int, ProtocolResult, float, float]]:
+    """Execute cells in-process, yielding ``(pos, result, s, ticks)``.
+
+    The batch-engined subset (when it has two or more cells) pools its
+    repetition engines into **one** lockstep ``run_batch``; the
+    remaining cells — scalar-engined, or a lone batch cell whose runs
+    still batch internally — execute solo, lazily, so a caller that
+    writes through to a cache persists each cell before the next one
+    starts.  Pooled cells' seconds apportion the batch wall clock by
+    each cell's *simulated tick count* (engine-independent, from the
+    run results), so ``CellReport.seconds`` stays meaningful for shard
+    bin-packing and summaries.
+    """
+    batch_pos = [j for j, s in enumerate(specs) if s.engine == "batch"]
+    solo_pos = [j for j, s in enumerate(specs) if s.engine != "batch"]
+    if len(batch_pos) < 2:
+        solo_pos = sorted(solo_pos + batch_pos)
+        batch_pos = []
+    if batch_pos:
+        from ..sim.batch import run_batch
+        from .protocol import fold_protocol
+
+        shells = []
+        spans = []
+        engines = []
+        for j in batch_pos:
+            shell, cell_engines = build_spec_protocol(specs[j])
+            shells.append(shell)
+            spans.append((len(engines), len(engines) + len(cell_engines)))
+            engines.extend(cell_engines)
+        t0 = time.perf_counter()
+        run_results = run_batch(engines)
+        batch_wall = time.perf_counter() - t0
+        ticks = [
+            sum(
+                s.finish_time_s
+                for r in run_results[lo:hi]
+                for s in r.sockets
+            )
+            / specs[j].engine_cfg.dt_s
+            for j, (lo, hi) in zip(batch_pos, spans)
+        ]
+        total_ticks = sum(ticks) or 1.0
+        for j, shell, (lo, hi), t in zip(batch_pos, shells, spans, ticks):
+            yield (
+                j,
+                fold_protocol(shell, run_results[lo:hi]),
+                batch_wall * t / total_ticks,
+                t,
+            )
+    for j in solo_pos:
+        result, seconds = _execute_timed(specs[j])
+        yield j, result, seconds, _solo_ticks(specs[j], result)
+
+
+def _run_shard(
+    specs: list[RunSpec],
+) -> tuple[int, float, list[tuple[int, ProtocolResult, float, float]]]:
+    """Pool target: one shard, batch-pooled, in one worker process."""
+    t0 = time.perf_counter()
+    cells = list(_iter_cells(specs))
+    return os.getpid(), time.perf_counter() - t0, cells
+
+
+# -- reporting ---------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -218,6 +424,19 @@ class CellReport:
     label: str
     cached: bool
     seconds: float
+    #: Simulated engine steps the cell accounted for (0 for cache hits).
+    ticks: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One dispatched shard: its plan weight and measured execution."""
+
+    index: int
+    cells: int
+    est_ticks: float
+    seconds: float
+    pid: int
 
 
 @dataclass
@@ -228,6 +447,8 @@ class ExecutionSummary:
     wall_s: float = 0.0
     cells: list[CellReport] = field(default_factory=list)
     corrupted: int = 0
+    #: Sharded-dispatch accounting (empty for serial / fully-cached runs).
+    shards: list[ShardReport] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -245,11 +466,24 @@ class ExecutionSummary:
     def executed_cpu_s(self) -> float:
         return sum(c.seconds for c in self.cells if not c.cached)
 
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def steals(self) -> int:
+        """Shards a worker picked up beyond its first — dynamic dispatch
+        absorbing stragglers that a static partition would have serialised."""
+        if not self.shards:
+            return 0
+        return len(self.shards) - len({s.pid for s in self.shards})
+
     def merge(self, other: "ExecutionSummary") -> None:
         """Fold a later batch (e.g. a second sweep stage) into this one."""
         self.cells.extend(other.cells)
         self.wall_s += other.wall_s
         self.corrupted += other.corrupted
+        self.shards.extend(other.shards)
 
     def render(self, *, per_cell: bool = False) -> str:
         """Human-readable account; ``per_cell`` adds the full table."""
@@ -260,6 +494,15 @@ class ExecutionSummary:
             f"{self.hits} cache hit{'s' if self.hits != 1 else ''}, "
             f"wall {self.wall_s:.2f} s"
         ]
+        if self.shards:
+            sizes = [s.cells for s in self.shards]
+            procs = len({s.pid for s in self.shards})
+            lines.append(
+                f"{len(self.shards)} shards over {procs} worker "
+                f"process{'es' if procs != 1 else ''} "
+                f"(cells/shard {min(sizes)}-{max(sizes)}, "
+                f"{self.steals} steal{'s' if self.steals != 1 else ''})"
+            )
         if self.corrupted:
             lines.append(f"recovered {self.corrupted} corrupted cache entries")
         if self.executed:
@@ -286,21 +529,41 @@ def _as_cache(cache) -> ResultCache | None:
     return ResultCache(cache)
 
 
+# -- the scheduler -----------------------------------------------------
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     *,
     workers: int = 1,
     cache: ResultCache | str | None = None,
+    shard_size: int | None = None,
 ) -> tuple[list[ProtocolResult], ExecutionSummary]:
     """Execute a batch of specs, results in spec order.
 
-    ``workers=1`` runs in-process (the classic serial path); more fans
-    the cache misses out over a process pool.  ``cache`` may be a
-    :class:`ResultCache` or a directory path; hits skip execution
-    entirely and the summary says which cells came from where.
+    ``workers=1`` runs in-process (the classic serial path; the
+    batch-engined subset of pending cells still pools into one
+    lockstep batch).  More workers shard the cache misses with
+    :func:`plan_shards` and dispatch shards dynamically over a process
+    pool: each shard runs its cells as one vectorized batch in its
+    worker, completed shards write through to ``cache`` immediately
+    (an interrupted sweep keeps every finished shard), and idle
+    workers steal queued shards.  ``shard_size`` caps cells per shard;
+    the default over-decomposes ~3 shards per worker.
+
+    ``cache`` may be a :class:`ResultCache` or a directory path; hits
+    skip execution entirely and the summary says which cells came from
+    where.  Results are bit-identical at any worker count, shard size
+    or cache state.
+
+    If a shard fails, every *other* shard still completes and writes
+    through before the first failure is re-raised — a transient crash
+    costs one shard's work, not the sweep's.
     """
     if workers < 1:
         raise ExperimentError("need at least one worker")
+    if shard_size is not None and shard_size < 1:
+        raise ExperimentError("shard_size must be at least 1")
     for spec in specs:
         spec.validate()
     cache = _as_cache(cache)
@@ -318,48 +581,64 @@ def run_specs(
         else:
             pending.append(i)
 
-    if workers == 1 and len(pending) > 1 and all(
-        specs[i].engine == "batch" for i in pending
-    ):
-        # Single-process batch path: pool every pending cell's
-        # repetition engines into one lockstep batch.  ``run_batch``
-        # groups compatible engines and falls back per-engine where
-        # needed, so results are identical to per-cell execution; the
-        # per-cell seconds are the batch wall-clock apportioned by
-        # engine count (individual cells are not timed separately).
-        from ..sim.batch import run_batch
-        from .protocol import fold_protocol
-
-        shells = []
-        spans = []
-        engines = []
-        for i in pending:
-            shell, cell_engines = build_spec_protocol(specs[i])
-            shells.append(shell)
-            spans.append((len(engines), len(engines) + len(cell_engines)))
-            engines.extend(cell_engines)
-        t0 = time.perf_counter()
-        run_results = run_batch(engines)
-        batch_wall = time.perf_counter() - t0
-        timed = [
-            (
-                fold_protocol(shell, run_results[lo:hi]),
-                batch_wall * (hi - lo) / len(engines),
-            )
-            for shell, (lo, hi) in zip(shells, spans)
-        ]
-    elif workers == 1 or len(pending) <= 1:
-        timed = (_execute_timed(specs[i]) for i in pending)
-    else:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        with pool:
-            timed = list(pool.map(_execute_timed, [specs[i] for i in pending]))
-
-    for i, (result, seconds) in zip(pending, timed):
+    def finish_cell(i: int, result: ProtocolResult, seconds: float, ticks: float) -> None:
         results[i] = result
-        reports[i] = CellReport(specs[i].display, cached=False, seconds=seconds)
+        reports[i] = CellReport(
+            specs[i].display, cached=False, seconds=seconds, ticks=ticks
+        )
         if cache is not None:
             cache.put(spec_key(specs[i]), result)
+
+    shard_reports: list[ShardReport] = []
+    if not pending:
+        pass
+    elif workers == 1 or len(pending) == 1:
+        pend_specs = [specs[i] for i in pending]
+        for j, result, seconds, ticks in _iter_cells(pend_specs):
+            finish_cell(pending[j], result, seconds, ticks)
+    else:
+        pend_specs = [specs[i] for i in pending]
+        shards = plan_shards(pend_specs, workers=workers, shard_size=shard_size)
+        failure: BaseException | None = None
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(shards)))
+        try:
+            futures = {
+                pool.submit(
+                    _run_shard, [pend_specs[j] for j in shard]
+                ): (si, shard)
+                for si, shard in enumerate(shards)
+            }
+            for fut in as_completed(futures):
+                si, shard = futures[fut]
+                try:
+                    pid, shard_wall, cells = fut.result()
+                except Exception as exc:
+                    if failure is None:
+                        failure = exc
+                    continue
+                # Write-through: this shard's cells persist now, not
+                # after the pool drains.
+                for j, result, seconds, ticks in cells:
+                    finish_cell(pending[shard[j]], result, seconds, ticks)
+                shard_reports.append(
+                    ShardReport(
+                        index=si,
+                        cells=len(shard),
+                        est_ticks=sum(
+                            estimate_spec_ticks(pend_specs[j]) for j in shard
+                        ),
+                        seconds=shard_wall,
+                        pid=pid,
+                    )
+                )
+        except BaseException:
+            # Ctrl-C / fatal error: drop queued shards, keep what the
+            # write-through already persisted.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
+        if failure is not None:
+            raise failure
 
     summary = ExecutionSummary(
         workers=workers,
@@ -368,5 +647,6 @@ def run_specs(
         corrupted=(cache.stats.corrupted - corrupt_before)
         if cache is not None
         else 0,
+        shards=sorted(shard_reports, key=lambda s: s.index),
     )
     return [r for r in results if r is not None], summary

@@ -81,19 +81,22 @@ def export_all(
     include_scorecard: bool = True,
     workers: int = 1,
     cache=None,
+    shard_size: int | None = None,
 ) -> ExportManifest:
     """Write every table/figure report plus the sweep CSV to ``out_dir``.
 
-    ``workers``/``cache`` reach the underlying evaluation sweep (see
-    :mod:`repro.experiments.executor`), so a full export parallelises
-    and warm reruns only re-render.
+    ``workers``/``cache``/``shard_size`` reach the underlying
+    evaluation sweep (see :mod:`repro.experiments.executor`), so a
+    full export parallelises and warm reruns only re-render.
     """
     if runs < 1:
         raise ExperimentError("need at least one run")
     os.makedirs(out_dir, exist_ok=True)
     manifest = ExportManifest(out_dir=out_dir)
 
-    sweep = sweep or run_sweep(runs=runs, workers=workers, cache=cache)
+    sweep = sweep or run_sweep(
+        runs=runs, workers=workers, cache=cache, shard_size=shard_size
+    )
 
     manifest.add("table1.txt", table1().render())
     manifest.add("fig1a.txt", fig1a(runs=runs).render())

@@ -36,9 +36,16 @@ def _render_fig1(fn) -> Callable[..., str]:
 
 def _render_fig3(fn) -> Callable[..., str]:
     def runner(
-        runs: int = 10, sweep=None, workers: int = 1, cache=None, **kwargs
+        runs: int = 10,
+        sweep=None,
+        workers: int = 1,
+        cache=None,
+        shard_size=None,
+        **kwargs,
     ) -> str:
-        sweep = sweep or run_sweep(runs=runs, workers=workers, cache=cache)
+        sweep = sweep or run_sweep(
+            runs=runs, workers=workers, cache=cache, shard_size=shard_size
+        )
         return fn(sweep=sweep).render()
 
     return runner
@@ -49,10 +56,12 @@ def _render_fig5(**kwargs) -> str:
 
 
 def _render_all(
-    runs: int = 10, workers: int = 1, cache=None, **kwargs
+    runs: int = 10, workers: int = 1, cache=None, shard_size=None, **kwargs
 ) -> str:
     """Every table and figure, sharing one evaluation sweep."""
-    sweep = run_sweep(runs=runs, workers=workers, cache=cache)
+    sweep = run_sweep(
+        runs=runs, workers=workers, cache=cache, shard_size=shard_size
+    )
     parts = [
         table1().render(),
         fig1a(runs=runs).render(),
@@ -70,20 +79,33 @@ def _render_all(
 
 
 def _render_scorecard(
-    runs: int = 10, sweep=None, workers: int = 1, cache=None, **kwargs
+    runs: int = 10,
+    sweep=None,
+    workers: int = 1,
+    cache=None,
+    shard_size=None,
+    **kwargs,
 ) -> str:
-    sweep = sweep or run_sweep(runs=runs, workers=workers, cache=cache)
+    sweep = sweep or run_sweep(
+        runs=runs, workers=workers, cache=cache, shard_size=shard_size
+    )
     return run_scorecard(sweep=sweep, runs=runs).render()
 
 
-def _render_sensitivity(workers: int = 1, cache=None, **kwargs) -> str:
-    return run_sensitivity(workers=workers, cache=cache).render()
+def _render_sensitivity(
+    workers: int = 1, cache=None, shard_size=None, **kwargs
+) -> str:
+    return run_sensitivity(
+        workers=workers, cache=cache, shard_size=shard_size
+    ).render()
 
 
 def _render_sweep(
-    runs: int = 10, workers: int = 1, cache=None, **kwargs
+    runs: int = 10, workers: int = 1, cache=None, shard_size=None, **kwargs
 ) -> str:
-    sweep = run_sweep(runs=runs, workers=workers, cache=cache)
+    sweep = run_sweep(
+        runs=runs, workers=workers, cache=cache, shard_size=shard_size
+    )
     parts = [sweep.render()]
     within, total = sweep.respected_count("dufp")
     parts.append(f"dufp tolerance respected in {within}/{total} configurations")

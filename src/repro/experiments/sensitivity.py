@@ -170,12 +170,15 @@ def run_sensitivity(
     seed: int = 77,
     workers: int = 1,
     cache: ResultCache | str | None = None,
+    shard_size: int | None = None,
 ) -> SensitivityResult:
     """Perturb each parameter and re-measure the probe.
 
     All probes across all parameters and factors are independent, so
-    the whole analysis fans out over ``workers`` processes and reuses
-    ``cache`` exactly like the evaluation sweep does.
+    the whole analysis fans out over ``workers`` processes — sharded
+    and cache-written-through exactly like the evaluation sweep
+    (``shard_size`` caps cells per shard) — and reuses ``cache`` the
+    same way.
     """
     names = parameters or list(PARAMETERS)
     for name in names:
@@ -200,7 +203,9 @@ def run_sensitivity(
         socket.validate()
         specs.extend(_probe_specs(socket, noise, seed, f"{name}x{factor:.2f}"))
 
-    results, _summary = run_specs(specs, workers=workers, cache=cache)
+    results, _summary = run_specs(
+        specs, workers=workers, cache=cache, shard_size=shard_size
+    )
     points = [
         SensitivityPoint(name, factor, *_probe_point(results[4 * i : 4 * i + 4]))
         for i, (name, factor) in enumerate(grid)

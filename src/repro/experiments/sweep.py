@@ -199,6 +199,7 @@ def run_sweep(
     engine: str = "scalar",
     workers: int = 1,
     cache: ResultCache | str | None = None,
+    shard_size: int | None = None,
 ) -> SweepResult:
     """Run the full evaluation grid.
 
@@ -209,7 +210,11 @@ def run_sweep(
     cells whose results are already on disk.  ``engine="batch"``
     executes every cell through the vectorized lockstep engine —
     numerically identical results, shared cache entries, and with
-    ``workers=1`` all cells advance in one batch.
+    ``workers=1`` all cells advance in one batch.  With more workers
+    the grid is bin-packed into per-worker shards, each shard runs as
+    one lockstep batch in its process, and completed shards write
+    through to the cache as they finish; ``shard_size`` caps cells per
+    shard (see :func:`repro.experiments.executor.plan_shards`).
     """
     specs, cells = sweep_specs(
         apps=apps,
@@ -225,7 +230,9 @@ def run_sweep(
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
-    results, summary = run_specs(specs, workers=workers, cache=cache)
+    results, summary = run_specs(
+        specs, workers=workers, cache=cache, shard_size=shard_size
+    )
 
     result = SweepResult(
         tolerances_pct=tol_list, apps=app_list, execution=summary

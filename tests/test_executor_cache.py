@@ -201,11 +201,15 @@ class TestCache:
         cache = ResultCache(tmp_path)
         key = spec_key(small_spec())
         cache.put(key, execute_spec(small_spec()))
-        path = cache._path(key)
-        path.write_bytes(b"not a pickle")
+        # Trash the segment bytes behind the manifest entry.
+        seg, off, length, _crc = cache._index[key]
+        seg_path = cache._segment_root / seg
+        blob = bytearray(seg_path.read_bytes())
+        blob[off : off + length] = b"\0" * length
+        seg_path.write_bytes(bytes(blob))
+        cache._segment_readers.clear()  # drop the stale read handle
         assert cache.get(key) is None
         assert cache.stats.corrupted == 1
-        assert not path.exists()  # removed, so the rerun can repopulate
         results, summary = run_specs([small_spec()], cache=cache)
         assert summary.executed == 1
         assert cache.get(key) is not None
