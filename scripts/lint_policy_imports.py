@@ -34,11 +34,22 @@ CONTROLLER_CLASSES = frozenset(
         "DNPCLike",
         "BudgetedSocketController",
         "NodeBudgetCoordinator",
+        # Hetero budget-split strategies (selected via split_policy()).
+        "StaticSplit",
+        "CoordinatedSplit",
+        "FairShareSplit",
     }
 )
 
 #: Module paths (relative, POSIX-style) that may import the classes.
-ALLOWED = ("src/repro/core/", "src/repro/__init__.py")
+#: ``sim/hetero.py`` is the one engine-side exception: its legacy
+#: ``coordinated=True/False`` constructor maps the flag onto concrete
+#: split classes; everything else selects splits through the registry.
+ALLOWED = (
+    "src/repro/core/",
+    "src/repro/__init__.py",
+    "src/repro/sim/hetero.py",
+)
 
 
 def _is_allowed(relative: str) -> bool:

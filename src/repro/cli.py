@@ -143,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
                     "cache entries (see docs/BATCHING.md)"
                 ),
             )
+            p.add_argument(
+                "--gpus",
+                type=int,
+                default=0,
+                metavar="N",
+                help=(
+                    "run every grid cell as a CPU+GPU co-simulation "
+                    "with N GPUs under hetero budget-split controllers "
+                    "(default controllers: hetero-coord hetero-fair; "
+                    "see docs/HETERO.md)"
+                ),
+            )
+            p.add_argument(
+                "--kernels",
+                type=int,
+                default=8,
+                metavar="N",
+                help="GPU kernel-queue length for --gpus sweeps (default 8)",
+            )
 
     p_list = sub.add_parser("list", help="list applications and experiments")
 
@@ -164,6 +183,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_hetero.add_argument("--budget", type=float, default=300.0)
     p_hetero.add_argument("--slowdown", type=float, default=10.0)
+    p_hetero.add_argument(
+        "--app",
+        default="CG",
+        help=f"application on the CPU socket (one of: "
+        f"{', '.join(application_names())}; default CG)",
+    )
+    p_hetero.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="application problem-size scale (default 0.5)",
+    )
+    p_hetero.add_argument(
+        "--kernels",
+        type=int,
+        default=8,
+        metavar="N",
+        help="GPU kernel-queue length (default 8)",
+    )
+    p_hetero.add_argument(
+        "--gpus",
+        type=int,
+        default=1,
+        metavar="N",
+        help="GPUs sharing the budget (default 1)",
+    )
+    p_hetero.add_argument(
+        "--seed", type=int, default=0, help="run seed (jitter + faults)"
+    )
+    p_hetero.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "hetero budget-split policy, 'name' or 'name:key=val,...' "
+            "(repeatable; default: compare hetero-static vs hetero-coord "
+            "at --budget)"
+        ),
+    )
 
     p_run = sub.add_parser("run", help="run one application once")
     p_run.add_argument("app", help=f"one of: {', '.join(application_names())}")
@@ -260,7 +319,17 @@ def _run_single(args: argparse.Namespace) -> str:
 def _run_sweep(args: argparse.Namespace) -> str:
     from .experiments.sweep import SWEEP_TOLERANCES_PCT, run_sweep
 
-    controllers = tuple(args.controller) if args.controller else ("duf", "dufp")
+    gpu = None
+    if args.gpus > 0:
+        from .hardware.gpu import GPUNodeConfig
+
+        gpu = GPUNodeConfig(gpu_count=args.gpus, kernel_count=args.kernels)
+        default_controllers = ("hetero-coord", "hetero-fair")
+    else:
+        default_controllers = ("duf", "dufp")
+    controllers = (
+        tuple(args.controller) if args.controller else default_controllers
+    )
     sweep = run_sweep(
         apps=args.apps,
         tolerances_pct=args.tolerances or SWEEP_TOLERANCES_PCT,
@@ -269,6 +338,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         app_scale=args.scale,
         faults=parse_fault_plan(args.faults) if args.faults else None,
         engine=args.engine,
+        gpu=gpu,
         workers=args.workers,
         cache=args.cache,
         shard_size=args.shard_size,
@@ -330,30 +400,62 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_hetero(args: argparse.Namespace) -> str:
-    from .hardware.gpu import GPUKernel
+    from .core.registry import split_policy
+    from .hardware.gpu import GPUNodeConfig
     from .sim.hetero import HeteroEngine
 
     cfg = ControllerConfig(tolerated_slowdown=args.slowdown / 100.0)
-    app = build_application("CG", scale=0.5)
-    kernels = [
-        GPUKernel(f"dgemm[{i}]", flops=6e12, bytes=6e12 / 8.0) for i in range(8)
+    app = build_application(args.app, scale=args.scale)
+    node = GPUNodeConfig(gpu_count=args.gpus, kernel_count=args.kernels)
+    node.validate()
+    if args.policy:
+        policies = [parse_policy(p) for p in args.policy]
+        display = {p.label: p.label for p in policies}
+    else:
+        # The classic demo: the naive operator split vs the paper's
+        # coordinated one, both at --budget.
+        policies = [
+            make_spec("hetero-static", budget_w=args.budget),
+            make_spec("hetero-coord", budget_w=args.budget),
+        ]
+        display = {
+            policies[0].label: "static 50/50",
+            policies[1].label: "coordinated",
+        }
+    lines = [
+        f"shared budget {args.budget:.0f} W, tolerance "
+        f"{args.slowdown:.0f} %, {args.gpus} GPU(s), "
+        f"{args.kernels} kernels, app {app.name} x{args.scale:g}"
     ]
-    lines = [f"shared budget {args.budget:.0f} W, tolerance {args.slowdown:.0f} %"]
-    for coordinated in (False, True):
+    summaries = []
+    for spec in policies:
+        split = split_policy(spec, cfg)
         result = HeteroEngine(
             application=app,
-            kernels=kernels,
-            total_budget_w=args.budget,
+            node=node,
+            policy=split,
             cfg=cfg,
-            coordinated=coordinated,
+            seed=args.seed,
         ).run()
         _, cpu_w, gpu_w = result.allocations[-1]
-        label = "coordinated" if coordinated else "static 50/50"
+        label = display[spec.label]
         lines.append(
-            f"  {label:13s} CPU {result.cpu_finish_s:6.2f} s  "
+            f"  {label:20s} CPU {result.cpu_finish_s:6.2f} s  "
             f"GPU {result.gpu_finish_s:6.2f} s  split {cpu_w:.0f}/{gpu_w:.0f} W"
         )
-    return "\n".join(lines)
+        summaries.append(
+            "HETERO "
+            f"app={app.name} scale={args.scale:g} gpus={args.gpus} "
+            f"kernels={args.kernels} seed={args.seed} "
+            f"policy={spec.label} budget_w={split.budget_w:g} "
+            f"makespan_s={result.makespan_s:.4f} "
+            f"cpu_finish_s={result.cpu_finish_s:.4f} "
+            f"gpu_finish_s={result.gpu_finish_s:.4f} "
+            f"cpu_energy_j={result.cpu_energy_j:.1f} "
+            f"gpu_energy_j={result.gpu_energy_j:.1f} "
+            f"transfer_s={result.transfer_s:.4f}"
+        )
+    return "\n".join(lines + summaries)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,6 +59,7 @@ from .budget import NodeBudgetCoordinator
 from .duf import DUF
 from .dufp import DUFP
 from .extensions import DUFPF, AdaptiveIntervalDUFP
+from .split import CoordinatedSplit, FairShareSplit, SplitPolicy, StaticSplit
 
 __all__ = [
     "PolicyInfo",
@@ -73,6 +74,7 @@ __all__ = [
     "controller_factory",
     "describe_policies",
     "vector_tick_form",
+    "split_policy",
 ]
 
 #: Per-socket controller factory, as consumed by the simulation layer.
@@ -118,6 +120,11 @@ class PolicyInfo:
     #: field defaults are the policy's default parameters and its
     #: ``build(cfg)`` method produces the per-socket factory.
     param_cls: type
+    #: True for heterogeneous budget-split policies: ``build(cfg)``
+    #: returns a :class:`~repro.core.split.SplitPolicy` for the
+    #: CPU+GPU engine instead of a per-socket controller factory, and
+    #: the run spec must carry a GPU node config.
+    hetero: bool = False
 
     @property
     def defaults(self):
@@ -138,11 +145,14 @@ def register_policy(
     display_name: str,
     paper_section: str = "",
     summary: str = "",
+    hetero: bool = False,
 ):
     """Class decorator registering a parameter dataclass as a policy.
 
     The decorated class must be a frozen dataclass exposing
-    ``build(cfg: ControllerConfig) -> Callable[[], Controller]``.
+    ``build(cfg: ControllerConfig) -> Callable[[], Controller]`` — or,
+    for ``hetero=True`` budget-split policies, ``build(cfg) ->
+    SplitPolicy``.
     """
 
     def decorate(param_cls: type) -> type:
@@ -158,6 +168,7 @@ def register_policy(
             paper_section=paper_section,
             summary=summary or (param_cls.__doc__ or "").strip().splitlines()[0],
             param_cls=param_cls,
+            hetero=hetero,
         )
         return param_cls
 
@@ -304,13 +315,40 @@ def controller_factory(
     return as_spec(policy).build(cfg or ControllerConfig())
 
 
+def split_policy(
+    policy: "PolicySpec | str", cfg: ControllerConfig | None = None
+) -> SplitPolicy:
+    """Resolve a hetero budget-split selection to a fresh policy object.
+
+    The hetero counterpart of :func:`controller_factory`: only valid
+    for registry entries flagged ``hetero=True``, whose ``build(cfg)``
+    returns a :class:`~repro.core.split.SplitPolicy` rather than a
+    per-socket controller factory.
+    """
+    spec = as_spec(policy)
+    if not spec.info.hetero:
+        raise PolicyError(
+            f"policy {spec.name!r} is a per-socket controller, not a "
+            "hetero budget-split policy; pick one of: "
+            + ", ".join(n for n in policy_names() if policy_info(n).hetero)
+        )
+    built = spec.build(cfg or ControllerConfig())
+    if not isinstance(built, SplitPolicy):
+        raise PolicyError(
+            f"hetero policy {spec.name!r} built {type(built).__name__}, "
+            "expected a SplitPolicy"
+        )
+    return built
+
+
 def describe_policies() -> str:
     """The ``repro policies`` listing, one block per registered policy."""
     lines: list[str] = []
     for name in policy_names():
         info = policy_info(name)
         section = f"  [{info.paper_section}]" if info.paper_section else ""
-        lines.append(f"{name:14s} {info.display_name}{section}")
+        hetero_tag = "  (hetero split)" if info.hetero else ""
+        lines.append(f"{name:14s} {info.display_name}{section}{hetero_tag}")
         lines.append(f"{'':14s}   {info.summary}")
         params = info.param_fields()
         if params:
@@ -523,3 +561,82 @@ class BudgetPolicy:
             headroom_w=self.headroom_w,
         )
         return coordinator.socket_controller
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous budget-split policies (paper §VII future work): how one
+# shared node budget divides between the CPU socket and the GPUs.  Their
+# ``build`` returns a SplitPolicy for the hetero engine, not a per-socket
+# controller factory — consumed through split_policy(), never directly.
+# ---------------------------------------------------------------------------
+
+
+@register_policy(
+    "hetero-static",
+    display_name="Static CPU/GPU budget split",
+    paper_section="VII (baseline)",
+    summary="Fixed CPU fraction, remainder split evenly over the GPUs.",
+    hetero=True,
+)
+@dataclass(frozen=True)
+class HeteroStaticPolicy:
+    """Parameters of the fixed fractional CPU/GPU split."""
+
+    #: Shared node power budget split across all devices, watts.
+    budget_w: float = 300.0
+    #: Fraction of the budget statically assigned to the CPU socket.
+    cpu_fraction: float = 0.5
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"hetero-static-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> SplitPolicy:
+        """The frozen t=0 split policy."""
+        return StaticSplit(self.budget_w, cpu_fraction=self.cpu_fraction)
+
+
+@register_policy(
+    "hetero-coord",
+    display_name="Coordinated demand/offer CPU/GPU split",
+    paper_section="VII (contribution)",
+    summary="Tolerance-aware water-filling re-split every period.",
+    hetero=True,
+)
+@dataclass(frozen=True)
+class HeteroCoordPolicy:
+    """Parameters of the coordinated demand/offer split."""
+
+    #: Shared node power budget split across all devices, watts.
+    budget_w: float = 300.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"hetero-coord-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> SplitPolicy:
+        """The demand/offer water-filling split policy."""
+        return CoordinatedSplit(self.budget_w)
+
+
+@register_policy(
+    "hetero-fair",
+    display_name="FastCap-style fair CPU/GPU split",
+    paper_section="VI (related work)",
+    summary="Equal fraction of each device's floor-to-ceiling range.",
+    hetero=True,
+)
+@dataclass(frozen=True)
+class HeteroFairPolicy:
+    """Parameters of the FastCap-style fair split."""
+
+    #: Shared node power budget split across all devices, watts.
+    budget_w: float = 300.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"hetero-fair-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> SplitPolicy:
+        """The fair equal-fraction split policy."""
+        return FairShareSplit(self.budget_w)

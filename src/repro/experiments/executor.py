@@ -49,9 +49,11 @@ from ..config import (
     SocketConfig,
     config_digest,
 )
-from ..core.registry import PolicySpec, as_spec, policy_names
+from ..core.registry import PolicySpec, as_spec, policy_info, policy_names
 from ..errors import ExperimentError
+from ..hardware.gpu import GPUNodeConfig
 from ..sim.faults import FaultPlan
+from ..units import smooth_max
 from .cache import DIGEST_SCHEMA, ResultCache
 from .protocol import ProtocolResult, run_protocol
 
@@ -121,6 +123,15 @@ class RunSpec:
     #: address: :func:`spec_key` normalises it away and batch results
     #: share cache entries with scalar ones.
     engine: str = field(default="scalar", metadata={"digest_omit_default": True})
+    #: GPU side of a heterogeneous node.  ``None`` (the default) keeps
+    #: the spec CPU-only; a :class:`~repro.hardware.gpu.GPUNodeConfig`
+    #: turns the cell into a CPU+GPU co-simulation whose ``controller``
+    #: must be a registered hetero budget-split policy.  Omitted from
+    #: the digest while ``None`` (``digest_omit_default``), so every
+    #: pre-existing CPU-only spec keeps its exact cache address.
+    gpu: GPUNodeConfig | None = field(
+        default=None, metadata={"digest_omit_default": True}
+    )
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -131,6 +142,11 @@ class RunSpec:
         # normalise here so the two also share one digest.
         if self.faults is not None and not self.faults.active:
             object.__setattr__(self, "faults", None)
+        # Hetero cells always run the scalar co-simulation loop; the
+        # engine field is display/strategy only (never in the digest),
+        # so normalising keeps mixed --engine batch sweeps working.
+        if self.gpu is not None and self.engine == "batch":
+            object.__setattr__(self, "engine", "scalar")
 
     def validate(self) -> None:
         if self.controller.name not in policy_names():
@@ -146,6 +162,23 @@ class RunSpec:
             )
         if self.faults is not None:
             self.faults.validate()
+        hetero = policy_info(self.controller.name).hetero
+        if self.gpu is not None:
+            self.gpu.validate()
+            if not hetero:
+                raise ExperimentError(
+                    f"hetero spec needs a hetero budget-split controller, "
+                    f"got {self.controller.name!r} (see 'repro policies')"
+                )
+            if self.socket_count != 1:
+                raise ExperimentError(
+                    "hetero cells model one CPU socket per node"
+                )
+        elif hetero:
+            raise ExperimentError(
+                f"controller {self.controller.name!r} splits a CPU+GPU "
+                "budget; the spec needs gpu=GPUNodeConfig(...)"
+            )
 
     @property
     def display(self) -> str:
@@ -192,6 +225,21 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
     app = build_application(
         spec.app_name, scale=spec.app_scale, socket=spec.socket
     )
+    if spec.gpu is not None:
+        from .protocol import run_hetero_protocol
+
+        return run_hetero_protocol(
+            app,
+            spec.controller,
+            spec.gpu,
+            controller_cfg=spec.controller_cfg,
+            runs=spec.runs,
+            base_seed=spec.base_seed,
+            noise=spec.noise,
+            engine_cfg=spec.engine_cfg,
+            socket=spec.socket,
+            faults=spec.faults,
+        )
     return run_protocol(
         app,
         spec.controller,
@@ -218,6 +266,11 @@ def build_spec_protocol(spec: RunSpec):
     from ..workloads.catalog import build_application
     from .protocol import build_protocol
 
+    if spec.gpu is not None:
+        raise ExperimentError(
+            "hetero cells cannot pool into a lockstep batch; "
+            "execute_spec runs them through the co-simulation engine"
+        )
     app = build_application(
         spec.app_name, scale=spec.app_scale, socket=spec.socket
     )
@@ -264,21 +317,49 @@ def _nominal_ticks(
     return max(duration_s / dt_s, 1.0)
 
 
+def _hetero_gpu_seconds(node: GPUNodeConfig) -> float:
+    """Nominal seconds the busiest GPU of ``node`` needs for its queue.
+
+    Round-robin gives device 0 the longest queue; each kernel costs its
+    roofline compute time at the maximum boost clock plus its
+    host↔device transfers at the peak link bandwidth.  Planning-only —
+    throttling, uncore coupling and stalls are ignored, exactly like
+    controller slowdowns on the CPU side.
+    """
+    gpu = node.gpu
+    t_compute = smooth_max(
+        node.kernel_flops / (gpu.flops_per_hz * gpu.max_freq_hz),
+        node.kernel_bytes / gpu.hbm_bw_bytes,
+        4.0,
+    )
+    t_xfer = (node.input_bytes + node.output_bytes) / node.link_bw_bytes
+    queue_len = -(-node.kernel_count // node.gpu_count)
+    return queue_len * (t_compute + t_xfer)
+
+
 def estimate_spec_ticks(spec: RunSpec) -> float:
     """Estimated simulated ticks of one cell, for shard bin-packing.
 
-    ``runs × sockets × nominal-duration/dt``: controller slowdowns
-    (≤ ~20 %) are deliberately ignored — load balance only needs the
-    relative weight of cells, and the estimate must never execute
-    anything.
+    CPU-only cells: ``runs × sockets × nominal-duration/dt``.
+    Controller slowdowns (≤ ~20 %) are deliberately ignored — load
+    balance only needs the relative weight of cells, and the estimate
+    must never execute anything.
+
+    Hetero cells weigh the whole node: the co-simulation loop runs
+    until *both* sides finish and steps every device each tick, so the
+    weight is ``runs × (1 + gpu_count) × max(cpu ticks, busiest-GPU
+    ticks)`` — without this, LPT planning would pack hetero cells as if
+    they were bare CPU runs and starve workers in mixed sweeps.
     """
-    return (
-        spec.runs
-        * spec.socket_count
-        * _nominal_ticks(
-            spec.app_name, spec.app_scale, spec.socket, spec.engine_cfg.dt_s
-        )
+    cpu_ticks = _nominal_ticks(
+        spec.app_name, spec.app_scale, spec.socket, spec.engine_cfg.dt_s
     )
+    if spec.gpu is not None:
+        gpu_ticks = _hetero_gpu_seconds(spec.gpu) / spec.engine_cfg.dt_s
+        return (
+            spec.runs * (1 + spec.gpu.gpu_count) * max(cpu_ticks, gpu_ticks)
+        )
+    return spec.runs * spec.socket_count * cpu_ticks
 
 
 def plan_shards(

@@ -20,6 +20,7 @@ from ..config import (
     MachineConfig,
     NoiseConfig,
     SocketConfig,
+    yeti_socket_config,
 )
 from ..core.base import Controller
 from ..core.registry import PolicySpec, as_spec
@@ -38,6 +39,7 @@ __all__ = [
     "build_protocol",
     "fold_protocol",
     "run_protocol",
+    "run_hetero_protocol",
     "compare",
 ]
 
@@ -227,6 +229,73 @@ def run_protocol(
     else:
         run_results = [e.run() for e in engines]
     return fold_protocol(result, run_results)
+
+
+def run_hetero_protocol(
+    application: Application,
+    controller: "PolicySpec | str",
+    gpu,
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    socket: SocketConfig | None = None,
+    trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
+) -> ProtocolResult:
+    """Execute ``runs`` seeded repetitions of one *heterogeneous* cell.
+
+    The CPU+GPU counterpart of :func:`run_protocol`: ``controller``
+    selects a hetero budget-split policy from the registry
+    (``hetero-static``, ``hetero-coord``, ``hetero-fair``), ``gpu`` is
+    the node's :class:`~repro.hardware.gpu.GPUNodeConfig`, and each
+    repetition runs the :class:`~repro.sim.hetero.HeteroEngine` with
+    the same per-run seed formula as the scalar protocol
+    (``noise.seed + 1009·r + base_seed``), so hetero cells trim, cache
+    and compare exactly like CPU-only ones.
+
+    Metric mapping onto the :class:`ProtocolResult` columns (documented
+    in docs/HETERO.md): ``times_s`` is the node *makespan*,
+    ``package_power_w`` the CPU's average power over the makespan,
+    ``dram_power_w`` the combined GPUs' average power, and
+    ``total_energy_j`` the whole node's energy — so :func:`compare`
+    reads "package savings" as CPU savings and "dram savings" as GPU
+    savings for hetero cells.
+    """
+    from ..core.registry import split_policy
+    from ..sim.hetero import HeteroEngine
+
+    if runs < 1:
+        raise ExperimentError("need at least one run")
+    noise = noise or NoiseConfig()
+    cfg = controller_cfg or ControllerConfig()
+    engine_cfg = engine_cfg or EngineConfig()
+    spec = as_spec(controller)
+    result = ProtocolResult(
+        app_name=application.name, controller_name=spec.label
+    )
+    for r in range(runs):
+        engine = HeteroEngine(
+            application=application,
+            node=gpu,
+            policy=split_policy(spec, cfg),
+            cfg=cfg,
+            socket_cfg=socket or yeti_socket_config(),
+            dt_s=engine_cfg.dt_s,
+            seed=noise.seed + 1009 * r + base_seed,
+            noise=noise,
+            faults=faults,
+            trace_sink=trace_sink if r == runs - 1 else None,
+        )
+        run = engine.run()
+        makespan = run.makespan_s or engine_cfg.dt_s
+        result.times_s.append(makespan)
+        result.package_power_w.append(run.cpu_energy_j / makespan)
+        result.dram_power_w.append(run.gpu_energy_j / makespan)
+        result.total_energy_j.append(run.total_energy_j)
+    return result
 
 
 @dataclass(frozen=True)

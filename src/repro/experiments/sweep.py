@@ -21,8 +21,9 @@ from typing import Iterable
 
 from ..config import ControllerConfig, EngineConfig, NoiseConfig, with_slowdown
 from ..analysis.tables import format_table
-from ..core.registry import PolicySpec, as_spec
+from ..core.registry import PolicySpec, as_spec, make_spec
 from ..errors import ExperimentError
+from ..hardware.gpu import GPUNodeConfig
 from ..sim.faults import FaultPlan
 from ..workloads.catalog import application_names
 from .cache import ResultCache
@@ -110,6 +111,7 @@ def sweep_specs(
     app_scale: float = 1.0,
     faults: FaultPlan | None = None,
     engine: str = "scalar",
+    gpu: GPUNodeConfig | None = None,
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
 
@@ -133,6 +135,14 @@ def sweep_specs(
     ``engine`` selects scalar or vectorized-batch execution for every
     cell; results — and cache digests — are identical either way (see
     :class:`~repro.experiments.executor.RunSpec`).
+
+    ``gpu`` turns the grid heterogeneous: every cell carries the
+    :class:`~repro.hardware.gpu.GPUNodeConfig` and its ``controllers``
+    must be registered hetero budget-split policies (``hetero-coord``,
+    ``hetero-fair``, ...).  The per-app baseline is then the naive
+    operator configuration — a ``hetero-static`` 50/50 split at the
+    first controller's budget — instead of the CPU ``default`` cell,
+    so "savings" read as gains over the uncoordinated split.
     """
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
@@ -140,6 +150,18 @@ def sweep_specs(
     labels = [c.label for c in ctrl_list]
     if len(set(labels)) != len(labels):
         raise ExperimentError(f"duplicate sweep controllers: {labels}")
+    if gpu is not None:
+        non_hetero = [c.name for c in ctrl_list if not c.info.hetero]
+        if non_hetero:
+            raise ExperimentError(
+                f"hetero sweep needs hetero budget-split controllers; "
+                f"{non_hetero} are per-socket policies"
+            )
+        baseline: PolicySpec = make_spec(
+            "hetero-static", budget_w=ctrl_list[0].params.budget_w
+        )
+    else:
+        baseline = as_spec("default")
     base_cfg = base_cfg or ControllerConfig()
     noise = noise or NoiseConfig()
     engine_cfg = engine_cfg or EngineConfig()
@@ -150,16 +172,17 @@ def sweep_specs(
         specs.append(
             RunSpec(
                 app_name=app_name,
-                controller="default",
+                controller=baseline,
                 controller_cfg=base_cfg,
                 runs=runs,
-                base_seed=cell_seed(app_name, "default"),
+                base_seed=cell_seed(app_name, baseline.label),
                 app_scale=app_scale,
                 noise=noise,
                 engine_cfg=engine_cfg,
                 faults=faults,
                 engine=engine,
-                label=f"{app_name}/default",
+                gpu=gpu,
+                label=f"{app_name}/{baseline.label}",
             )
         )
         cells.append(None)
@@ -178,6 +201,7 @@ def sweep_specs(
                         engine_cfg=engine_cfg,
                         faults=faults,
                         engine=engine,
+                        gpu=gpu,
                         label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
                 )
@@ -197,6 +221,7 @@ def run_sweep(
     app_scale: float = 1.0,
     faults: FaultPlan | None = None,
     engine: str = "scalar",
+    gpu: GPUNodeConfig | None = None,
     workers: int = 1,
     cache: ResultCache | str | None = None,
     shard_size: int | None = None,
@@ -215,6 +240,9 @@ def run_sweep(
     one lockstep batch in its process, and completed shards write
     through to the cache as they finish; ``shard_size`` caps cells per
     shard (see :func:`repro.experiments.executor.plan_shards`).
+
+    ``gpu`` runs the whole grid as CPU+GPU co-simulation cells under
+    hetero budget-split controllers; see :func:`sweep_specs`.
     """
     specs, cells = sweep_specs(
         apps=apps,
@@ -227,6 +255,7 @@ def run_sweep(
         app_scale=app_scale,
         faults=faults,
         engine=engine,
+        gpu=gpu,
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)

@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from ..errors import ConfigurationError, HardwareError, SimulationError
 from ..units import smooth_max
 
-__all__ = ["GPUConfig", "GPUKernel", "SimulatedGPU", "GPUState"]
+__all__ = [
+    "GPUConfig",
+    "GPUKernel",
+    "GPUNodeConfig",
+    "SimulatedGPU",
+    "GPUState",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,84 @@ class GPUKernel:
             raise ConfigurationError(f"kernel {self.name!r}: negative work")
         if self.flops == 0 and self.bytes == 0:
             raise ConfigurationError(f"kernel {self.name!r}: no work")
+
+
+@dataclass(frozen=True)
+class GPUNodeConfig:
+    """The GPU side of a heterogeneous node, as carried by a run spec.
+
+    Describes everything the hetero engine needs beyond the CPU socket:
+    how many accelerators share the node budget, the uniform kernel
+    queue each one executes, and the host↔device link whose effective
+    bandwidth scales with the *CPU uncore* frequency — the coupling
+    measured by *Exploring Uncore Frequency Scaling for Heterogeneous
+    Computing* (PAPERS.md): PCIe/NVLink transfers ride the uncore
+    (mesh + IIO) clock, so an uncore-scaling controller on the host
+    directly moves accelerator transfer time.
+
+    Frozen, picklable and canonically hashable, so it folds into
+    :func:`~repro.experiments.executor.spec_key` cache addresses when
+    attached to a :class:`~repro.experiments.executor.RunSpec`.
+    """
+
+    #: The accelerator model every GPU of the node shares.
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    #: Number of identical GPUs under the shared budget.
+    gpu_count: int = 1
+    #: Kernels in the node-wide queue (distributed round-robin).
+    kernel_count: int = 8
+    #: FP64 FLOPs per kernel.
+    kernel_flops: float = 6e12
+    #: HBM traffic per kernel, bytes.
+    kernel_bytes: float = 0.75e12
+    #: Host→device input staged before each kernel, bytes.
+    input_bytes: float = 2e9
+    #: Device→host output drained after each kernel, bytes.
+    output_bytes: float = 1e9
+    #: Peak host↔device link bandwidth at the maximum uncore clock,
+    #: bytes/s (PCIe gen3 x16-shaped).
+    link_bw_bytes: float = 16e9
+    #: Fraction of the link bandwidth that scales with the CPU uncore
+    #: frequency: ``bw = link_bw · (1 - s + s · f_uncore / f_uncore_max)``.
+    #: 0 decouples transfers from the uncore; 1 makes them fully
+    #: proportional.
+    link_uncore_sensitivity: float = 0.6
+
+    def validate(self) -> None:
+        self.gpu.validate()
+        if self.gpu_count < 1:
+            raise ConfigurationError("node needs at least one GPU")
+        if self.kernel_count < 1:
+            raise ConfigurationError("kernel queue cannot be empty")
+        if self.kernel_flops < 0 or self.kernel_bytes < 0:
+            raise ConfigurationError("kernel work must be non-negative")
+        if self.kernel_flops == 0 and self.kernel_bytes == 0:
+            raise ConfigurationError("kernels must carry some work")
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ConfigurationError("transfer sizes must be non-negative")
+        if self.link_bw_bytes <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if not 0.0 <= self.link_uncore_sensitivity <= 1.0:
+            raise ConfigurationError("link_uncore_sensitivity must be in [0, 1]")
+
+    def build_kernels(self) -> list[GPUKernel]:
+        """The node-wide kernel queue described by this config."""
+        return [
+            GPUKernel(
+                f"kernel[{i}]", flops=self.kernel_flops, bytes=self.kernel_bytes
+            )
+            for i in range(self.kernel_count)
+        ]
+
+    def link_bw_at(self, uncore_frac: float) -> float:
+        """Effective host↔device bandwidth at an uncore fraction.
+
+        ``uncore_frac`` is the CPU uncore clock as a fraction of its
+        maximum; the insensitive share of the link is always available.
+        """
+        frac = min(max(uncore_frac, 0.0), 1.0)
+        s = self.link_uncore_sensitivity
+        return self.link_bw_bytes * (1.0 - s + s * frac)
 
 
 @dataclass(frozen=True)

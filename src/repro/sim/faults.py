@@ -109,6 +109,26 @@ class FaultPlan:
     tick_jitter_max_s: float = field(
         default=0.020, metadata={"range": (0.0, 10.0)}
     )
+    #: Probability an ``nvidia-smi -pl``-style GPU power-limit write is
+    #: silently lost (the board keeps its previous limit) — the GPU
+    #: counterpart of ``cap_latch_fail_rate``.  Hetero runs only; the
+    #: ``digest_omit_default`` metadata keeps every pre-existing plan's
+    #: digest byte-identical while the channel is off.
+    gpu_cap_latch_fail_rate: float = field(
+        default=0.0,
+        metadata={"range": (0.0, 1.0), "digest_omit_default": True},
+    )
+    #: Probability a GPU kernel launch stalls in the queue (driver
+    #: hiccup, context switch) for ``gpu_stall_s`` before starting.
+    gpu_queue_stall_rate: float = field(
+        default=0.0,
+        metadata={"range": (0.0, 1.0), "digest_omit_default": True},
+    )
+    #: Stall duration applied when ``gpu_queue_stall_rate`` fires, s.
+    gpu_stall_s: float = field(
+        default=0.25,
+        metadata={"range": (0.0, 10.0), "digest_omit_default": True},
+    )
     #: Simulated time at which the channels arm, seconds.
     start_s: float = 0.0
     #: Simulated time at which the channels disarm, seconds.
@@ -148,12 +168,15 @@ FAULT_CHANNELS: dict[str, str] = {
     "latch_delay": "latch_delay_rate",
     "tick_miss": "tick_miss_rate",
     "tick_jitter": "tick_jitter_rate",
+    "gpu_cap_latch_fail": "gpu_cap_latch_fail_rate",
+    "gpu_stall": "gpu_queue_stall_rate",
 }
 
 #: Non-rate fields settable through the spec grammar.
 _EXTRA_FIELDS = (
     "latch_delay_extra_s",
     "tick_jitter_max_s",
+    "gpu_stall_s",
     "start_s",
     "stop_s",
     "seed_salt",
@@ -335,6 +358,23 @@ class FaultInjector:
             return False, 0.0
 
         return consult
+
+    # -- GPU channels (hetero runs; device_id is the trace socket id) ------------
+
+    def gpu_cap_latch_fails(self, device_id: int) -> bool:
+        """Should this GPU power-limit write be silently lost?"""
+        if self._draw(self.plan.gpu_cap_latch_fail_rate):
+            self._fire(device_id, "gpu_cap_latch_fail")
+            return True
+        return False
+
+    def gpu_queue_stall_s(self, device_id: int) -> float:
+        """Queue stall before the next kernel launch (0.0 = no stall)."""
+        if self._draw(self.plan.gpu_queue_stall_rate):
+            stall = self.plan.gpu_stall_s
+            self._fire(device_id, "gpu_stall", detail=f"+{stall:g}s")
+            return stall
+        return 0.0
 
     # -- tick channels (per due tick, node-wide) ---------------------------------
 

@@ -29,6 +29,7 @@ from repro.experiments.executor import (
     spec_key,
 )
 from repro.experiments.sweep import run_sweep, sweep_specs
+from repro.hardware.gpu import GPUNodeConfig
 from repro.workloads.catalog import build_application
 
 QUIET = NoiseConfig(duration_jitter=0.002, counter_noise=0.001, power_noise=0.001)
@@ -264,6 +265,65 @@ class TestWriteThrough:
             )
         _, summary = run_specs(specs, workers=1, cache=cache)
         assert summary.hits == len(specs)
+
+
+#: A hetero grid sized for tier-1: one app, two split policies.
+HETERO_NODE = GPUNodeConfig(
+    kernel_count=3, kernel_flops=1.2e12, kernel_bytes=0.15e12
+)
+HETERO_GRID = dict(
+    apps=["CG"],
+    tolerances_pct=(0.0,),
+    runs=2,
+    app_scale=0.15,
+    noise=QUIET,
+    controllers=("hetero-coord", "hetero-fair"),
+    gpu=HETERO_NODE,
+)
+
+
+class TestHeteroSharding:
+    def test_hetero_sweep_rejects_per_socket_controllers(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            sweep_specs(**{**HETERO_GRID, "controllers": ("duf", "hetero-coord")})
+        assert "duf" in str(excinfo.value)
+
+    def test_hetero_cells_weighted_by_the_gpu_side(self):
+        specs, _ = sweep_specs(**HETERO_GRID)
+        cpu_twin = RunSpec(
+            app_name="CG", controller="duf", runs=2, app_scale=0.15, noise=QUIET
+        )
+        for spec in specs:
+            assert estimate_spec_ticks(spec) > estimate_spec_ticks(cpu_twin)
+
+    def test_sharded_hetero_sweep_bit_identical_to_serial(self):
+        serial = run_sweep(**HETERO_GRID)
+        sharded = run_sweep(**HETERO_GRID, workers=2, shard_size=1)
+        assert serial.comparisons.keys() == sharded.comparisons.keys()
+        for key in serial.comparisons:
+            a, b = serial.comparisons[key], sharded.comparisons[key]
+            assert a.slowdown_pct == b.slowdown_pct
+            assert a.energy_savings_pct == b.energy_savings_pct
+        assert sharded.execution.shard_count == sharded.execution.executed == 3
+
+    def test_mixed_hetero_and_cpu_grid_shards_and_caches(self, tmp_path):
+        hetero_specs, _ = sweep_specs(**HETERO_GRID)
+        cpu_specs, _ = sweep_specs(**GRID, engine="batch")
+        mixed = hetero_specs + cpu_specs
+        cache = ResultCache(tmp_path)
+        serial, _ = run_specs(mixed, workers=1)
+        sharded, summary = run_specs(mixed, workers=2, shard_size=2, cache=cache)
+        for s, p in zip(serial, sharded):
+            assert s.times_s == p.times_s
+            assert s.total_energy_j == p.total_energy_j
+        assert summary.executed == len(mixed)
+        for spec in mixed:
+            assert spec_key(spec) in cache
+        warm, warm_summary = run_specs(mixed, workers=2, cache=cache)
+        assert warm_summary.executed == 0
+        assert warm_summary.hits == len(mixed)
+        for s, w in zip(serial, warm):
+            assert s.times_s == w.times_s
 
 
 class TestCacheV2:
