@@ -34,6 +34,12 @@ CONTROLLER_CLASSES = frozenset(
         "DNPCLike",
         "BudgetedSocketController",
         "NodeBudgetCoordinator",
+        # Frequency-governor baselines (repro.core.governors).
+        "FrequencyGovernorBase",
+        "PerformanceFreqGovernor",
+        "PowersaveFreqGovernor",
+        "OndemandFreqGovernor",
+        "SchedutilFreqGovernor",
         # Hetero budget-split strategies (selected via split_policy()).
         "StaticSplit",
         "CoordinatedSplit",

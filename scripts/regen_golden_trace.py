@@ -54,13 +54,66 @@ def golden_run():
     )
 
 
+#: The powersave-governor scenario: an EPP-hinted socket with the
+#: C-state model on, running CG with idle gaps, under a fault plan
+#: that exercises the C-state rollover channel.  Pins the governor's
+#: PERF_CTL actuation, the EPP-biased operating point, the C-state
+#: power path and the new event encodings in one trace.
+POWERSAVE_SEED = 20220530
+POWERSAVE_PLAN = FaultPlan(cstate_rollover_rate=0.05)
+
+
+def _powersave_socket():
+    from dataclasses import replace
+
+    from repro.config import CStateConfig, EPBConfig, SocketConfig
+
+    return replace(
+        SocketConfig(), epb=EPBConfig(epp=192), cstates=CStateConfig()
+    )
+
+
+def _powersave_application():
+    """CG at 0.3 scale with 20 % idle gaps in its memory phases."""
+    from dataclasses import replace as dc_replace
+
+    app = build_application("CG", scale=0.3)
+    phases = tuple(
+        dc_replace(p, idleness=0.2) if p.bytes > p.flops else p
+        for p in app.phases
+    )
+    return type(app)(name="CG-idle", phases=phases, structure=app.structure)
+
+
+def golden_powersave_run():
+    """The powersave-governor run whose trace is pinned."""
+    from repro.core.registry import make_spec
+    from repro.hardware.topology import MachineConfig
+    from repro.sim.machine import SimulatedMachine
+
+    socket = _powersave_socket()
+    return run_application(
+        _powersave_application(),
+        make_spec("governor-powersave").build(CFG),
+        controller_cfg=CFG,
+        machine=SimulatedMachine(MachineConfig(socket=socket, socket_count=1)),
+        noise=QUIET,
+        seed=POWERSAVE_SEED,
+        faults=POWERSAVE_PLAN,
+    )
+
+
 def main() -> None:
     GOLDEN.mkdir(parents=True, exist_ok=True)
-    path = GOLDEN / "golden_dufp_trace.jsonl"
-    result = golden_run()
-    lines = write_trace_jsonl(result, str(path))
-    events = sum(1 for e in result.fault_events)
-    print(f"wrote {lines} lines ({events} fault events) to {path}")
+    for fname, run in (
+        ("golden_dufp_trace.jsonl", golden_run),
+        ("golden_powersave_trace.jsonl", golden_powersave_run),
+    ):
+        path = GOLDEN / fname
+        result = run()
+        lines = write_trace_jsonl(result, str(path))
+        events = sum(1 for e in result.fault_events)
+        print(f"wrote {lines} lines ({events} fault events) to {path}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,14 @@ Controllers are selected from the policy registry by id, optionally
 with parameters: ``--controller budget:watts=95,period_ticks=3``.
 ``repro policies`` lists every registered policy with its parameters.
 
+``run`` and ``sweep`` also take platform flags (see docs/PLATFORM.md):
+``--dies N`` splits the uncore into N independently-clocked dies,
+``--epp N``/``--epb N`` set the HWP energy-performance hints, and
+``--cstates`` enables the per-core C-state residency model::
+
+    python -m repro run CG --controller governor-powersave --epp 192
+    python -m repro sweep --apps CG --controller governor-ondemand --dies 2
+
 Any sweep-backed experiment accepts ``--workers N`` (batch-sharded
 fan-out over grid cells; results are identical at any worker count),
 ``--shard-size N`` (max cells per worker shard) and ``--cache DIR``
@@ -37,6 +45,77 @@ from .sim.run import run_application
 from .workloads.catalog import application_names, build_application
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_platform_args(p: argparse.ArgumentParser) -> None:
+    """Platform-model flags shared by ``run`` and ``sweep``."""
+    p.add_argument(
+        "--dies",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "split the uncore into N independently-clocked dies "
+            "(default 1: the legacy single-domain model)"
+        ),
+    )
+    p.add_argument(
+        "--epp",
+        type=int,
+        default=None,
+        metavar="HINT",
+        help=(
+            "HWP energy-performance preference, 0 (performance) to "
+            "255 (power); enables the EPB/EPP model"
+        ),
+    )
+    p.add_argument(
+        "--epb",
+        type=int,
+        default=None,
+        metavar="HINT",
+        help=(
+            "IA32_ENERGY_PERF_BIAS, 0 (performance) to 15 (power); "
+            "enables the EPB/EPP model"
+        ),
+    )
+    p.add_argument(
+        "--cstates",
+        action="store_true",
+        help="enable the per-core C-state residency model",
+    )
+
+
+def _platform_socket(args: argparse.Namespace):
+    """SocketConfig override built from the platform flags, or ``None``.
+
+    ``None`` — all flags at their defaults — keeps every downstream
+    digest and trace byte-identical to a CLI that never had the flags.
+    """
+    dies = getattr(args, "dies", 1)
+    epp = getattr(args, "epp", None)
+    epb = getattr(args, "epb", None)
+    cstates = getattr(args, "cstates", False)
+    if dies == 1 and epp is None and epb is None and not cstates:
+        return None
+    from dataclasses import replace
+
+    from .config import CStateConfig, EPBConfig, SocketConfig
+
+    sock = SocketConfig()
+    if dies != 1:
+        sock = replace(sock, uncore=replace(sock.uncore, die_count=dies))
+    if epp is not None or epb is not None:
+        kwargs = {}
+        if epp is not None:
+            kwargs["epp"] = epp
+        if epb is not None:
+            kwargs["epb"] = epb
+        sock = replace(sock, epb=EPBConfig(**kwargs))
+    if cstates:
+        sock = replace(sock, cstates=CStateConfig())
+    sock.validate()
+    return sock
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="GPU kernel-queue length for --gpus sweeps (default 8)",
             )
+            _add_platform_args(p)
 
     p_list = sub.add_parser("list", help="list applications and experiments")
 
@@ -272,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run summary (times, energies, phases) to JSON",
     )
+    _add_platform_args(p_run)
     _ = p_list
     _ = p_policies
     return parser
@@ -287,10 +368,22 @@ def _run_single(args: argparse.Namespace) -> str:
                 "pass parameters inline with any other policy"
             )
         spec = make_spec("static", cap_w=args.cap)
-    app = build_application(args.app)
+    socket = _platform_socket(args)
+    app = build_application(args.app, socket=socket)
     faults = parse_fault_plan(args.faults) if args.faults else None
+    machine = None
+    if socket is not None:
+        from .hardware.topology import MachineConfig
+        from .sim.machine import SimulatedMachine
+
+        machine = SimulatedMachine(MachineConfig(socket=socket, socket_count=1))
     result = run_application(
-        app, spec.build(cfg), controller_cfg=cfg, seed=args.seed, faults=faults
+        app,
+        spec.build(cfg),
+        controller_cfg=cfg,
+        machine=machine,
+        seed=args.seed,
+        faults=faults,
     )
     if args.trace_csv:
         rows = write_trace_csv(result, args.trace_csv)
@@ -339,6 +432,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         faults=parse_fault_plan(args.faults) if args.faults else None,
         engine=args.engine,
         gpu=gpu,
+        socket=_platform_socket(args),
         workers=args.workers,
         cache=args.cache,
         shard_size=args.shard_size,

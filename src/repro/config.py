@@ -29,6 +29,8 @@ from .units import ghz, mhz
 
 __all__ = [
     "CoreConfig",
+    "CStateConfig",
+    "EPBConfig",
     "ThermalConfig",
     "UncoreConfig",
     "RAPLConfig",
@@ -143,12 +145,28 @@ class UncoreConfig:
     #: Voltage at the uncore minimum / maximum frequency.
     v_min: float = 0.70
     v_max: float = 0.95
+    #: Number of independently clocked uncore dies (TPMI-era UFS exposes
+    #: one frequency domain per compute die).  The default single-die
+    #: layout is the legacy Skylake-SP path and is preserved bit-for-bit;
+    #: the field vanishes from cache digests while it holds the default.
+    die_count: int = field(default=1, metadata={"digest_omit_default": True})
+    #: How unevenly memory traffic lands across dies: die *i* of *N* sees
+    #: its traffic scaled by ``1 + spread·(N-1-2i)/(N-1)`` (die 0 hottest,
+    #: last die coldest; weights average to 1 so aggregate demand is
+    #: unchanged).  Zero spreads traffic evenly.
+    die_traffic_spread: float = field(
+        default=0.5,
+        metadata={"range": (0.0, 1.0), "digest_omit_default": True},
+    )
 
     def validate(self) -> None:
         if not (0 < self.min_freq_hz <= self.max_freq_hz):
             raise ConfigurationError("UncoreConfig frequencies must satisfy 0 < min <= max")
         if self.step_hz <= 0:
             raise ConfigurationError("UncoreConfig.step_hz must be positive")
+        if self.die_count < 1:
+            raise ConfigurationError("UncoreConfig.die_count must be >= 1")
+        validate_bounded_fields(self)
 
     def voltage_at(self, freq_hz: float) -> float:
         if self.max_freq_hz == self.min_freq_hz:
@@ -311,6 +329,88 @@ class ThermalConfig:
 
 
 @dataclass(frozen=True)
+class CStateConfig:
+    """Core C-state model (see :mod:`repro.hardware.cstates`).
+
+    Phases declare an ``idleness`` fraction; cores spend that fraction of
+    wall time parked, split between a shallow state (C1) and a deep state
+    (C6).  Deep residency cuts the ``core_idle_fraction`` power term but
+    costs exit latency on every wakeup.  ``None`` in :class:`SocketConfig`
+    disables the model — the legacy always-C0 path, bit-for-bit.
+    """
+
+    #: C1 exit latency, seconds (~2 µs on Skylake-SP).
+    c1_exit_latency_s: float = field(
+        default=2e-6, metadata={"range": (0.0, 1e-3)}
+    )
+    #: C6 exit latency, seconds (~133 µs on Skylake-SP).
+    c6_exit_latency_s: float = field(
+        default=133e-6, metadata={"range": (0.0, 1e-2)}
+    )
+    #: Fraction of a C1-resident core's idle dynamic power that still
+    #: flows (clock gated, caches live).
+    c1_power_fraction: float = field(
+        default=0.70, metadata={"range": (0.0, 1.0)}
+    )
+    #: Fraction for C6 (power gated; near zero).
+    c6_power_fraction: float = field(
+        default=0.05, metadata={"range": (0.0, 1.0)}
+    )
+    #: Maximum share of idle time promoted to C6 at full idleness.  The
+    #: cpuidle menu governor demotes shallow sleeps; latency-sensitive
+    #: phases pull the achieved share below this ceiling.
+    c6_max_share: float = field(default=0.85, metadata={"range": (0.0, 1.0)})
+    #: Wakeups per second of idle time — each one pays the exit latency.
+    wakeup_rate_hz: float = field(
+        default=250.0, metadata={"range": (0.0, 1e6)}
+    )
+
+    def validate(self) -> None:
+        validate_bounded_fields(self)
+        if self.c1_exit_latency_s > self.c6_exit_latency_s:
+            raise ConfigurationError(
+                "CStateConfig exit latencies must satisfy C1 <= C6"
+            )
+        if self.c6_power_fraction > self.c1_power_fraction:
+            raise ConfigurationError(
+                "CStateConfig power fractions must satisfy C6 <= C1"
+            )
+
+
+@dataclass(frozen=True)
+class EPBConfig:
+    """Energy-performance bias / HWP preference model.
+
+    Mirrors the two hint registers real platforms expose: the legacy
+    ``IA32_ENERGY_PERF_BIAS`` (0–15, 0 = performance) and the HWP request
+    ``energy_performance_preference`` byte (0–255, 0 = performance).
+    Hints bias operating points only: the uncore window ceiling shrinks
+    toward its floor and the ``powersave`` governor target drops as the
+    preference moves toward energy.  ``None`` disables the model.
+    """
+
+    #: IA32_ENERGY_PERF_BIAS initial value (0 = performance, 15 = power).
+    epb: int = field(default=6, metadata={"range": (0, 15)})
+    #: HWP energy_performance_preference initial value (0 = performance,
+    #: 255 = power; 128 = balanced).
+    epp: int = field(default=128, metadata={"range": (0, 255)})
+    #: How strongly a full-power preference (EPP 255) pulls the uncore
+    #: window ceiling toward the floor: 1.0 collapses the window.
+    uncore_bias_strength: float = field(
+        default=0.5, metadata={"range": (0.0, 1.0)}
+    )
+    #: How strongly the preference biases governor frequency targets.
+    dvfs_bias_strength: float = field(
+        default=1.0, metadata={"range": (0.0, 1.0)}
+    )
+
+    def validate(self) -> None:
+        validate_bounded_fields(self)
+        if not isinstance(self.epb, int) or not isinstance(self.epp, int):
+            raise ConfigurationError("EPBConfig hints must be integers")
+
+
+@dataclass(frozen=True)
 class SocketConfig:
     """One processor socket: clocks, power model, memory, RAPL, thermals."""
 
@@ -320,6 +420,16 @@ class SocketConfig:
     power: PowerModelConfig = field(default_factory=PowerModelConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     thermal: ThermalConfig | None = None
+    #: Optional C-state model; ``None`` keeps the legacy always-C0 path.
+    #: Omitted from digests at the default so pre-existing cache entries
+    #: stay addressable.
+    cstates: CStateConfig | None = field(
+        default=None, metadata={"digest_omit_default": True}
+    )
+    #: Optional EPB/EPP hint model; ``None`` keeps hints unmodelled.
+    epb: EPBConfig | None = field(
+        default=None, metadata={"digest_omit_default": True}
+    )
 
     def validate(self) -> None:
         self.core.validate()
@@ -329,6 +439,10 @@ class SocketConfig:
         self.memory.validate()
         if self.thermal is not None:
             self.thermal.validate()
+        if self.cstates is not None:
+            self.cstates.validate()
+        if self.epb is not None:
+            self.epb.validate()
 
 
 @dataclass(frozen=True)

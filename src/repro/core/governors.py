@@ -1,0 +1,210 @@
+"""Linux cpufreq-governor baselines as per-socket controllers.
+
+*How to Increase Energy Efficiency with a Single Linux Command*
+(PAPERS.md) shows the stock ``powersave`` governor alone is a strong
+energy baseline; the paper's own testbed pins ``performance``.  These
+controllers reproduce the four classic governor policies at the
+controller tick granularity, actuating the core-frequency *ceiling*
+through ``IA32_PERF_CTL`` — the same MSR path ``intel_pstate`` uses —
+while leaving the RAPL cap and the uncore window untouched:
+
+* ``performance`` — ceiling pinned to the maximum P-state;
+* ``powersave`` — an energy-biased fixed operating point pulled down
+  from the maximum by the socket's EPP hint (HWP-style);
+* ``ondemand`` — jump to the maximum above ``up_threshold``
+  utilisation, proportional below it;
+* ``schedutil`` — the kernel's ``1.25 · f_max · util`` rule.
+
+Utilisation is *compute* pressure: achieved FLOPS/s against the
+platform peak.  Cycles stalled on DRAM do not raise core clocks — the
+kernel's frequency-invariant utilisation discounts them the same way,
+and it mirrors the paper's separation of concerns (core clocks follow
+compute demand; memory demand is the *uncore's* problem).  The
+practical consequence matches the published measurements: on
+memory-heavy codes ``ondemand``/``schedutil`` declock the cores and
+trade runtime for power — sometimes winning energy (FT, MG), sometimes
+losing it to the runtime stretch (CG) — while on compute-saturated
+codes they are indistinguishable from ``performance``.
+
+The controllers live behind the policy registry like every other
+controller (``governor-performance``, ``governor-powersave``, …); only
+:mod:`repro.core.registry` may import the concrete classes.
+"""
+
+from __future__ import annotations
+
+from ..config import ControllerConfig
+from ..errors import ControllerError
+from ..hardware.msr import MSR
+from ..papi.highlevel import Measurement
+from .base import Controller, TickLog
+
+__all__ = [
+    "PerformanceFreqGovernor",
+    "PowersaveFreqGovernor",
+    "OndemandFreqGovernor",
+    "SchedutilFreqGovernor",
+]
+
+#: IA32_PERF_CTL ratio unit (100 MHz), matching the P-state driver.
+_RATIO_HZ = 100e6
+
+
+class FrequencyGovernorBase(Controller):
+    """Shared machinery: utilisation estimate and PERF_CTL actuation."""
+
+    name = "governor"
+
+    def __init__(
+        self,
+        cfg: ControllerConfig,
+        peak_gflops: float = 180.0,
+    ) -> None:
+        super().__init__()
+        if peak_gflops <= 0:
+            raise ControllerError(f"{self.name}: peak_gflops must be positive")
+        self.cfg = cfg
+        self.peak_flops = peak_gflops * 1e9
+        self.ceiling_hz = 0.0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        self.set_ceiling(self.initial_target_hz())
+
+    def utilisation(self, m: Measurement) -> float:
+        """Compute pressure in [0, 1]: achieved FLOPS/s against peak.
+
+        DRAM-stalled cycles deliberately do not count — raising core
+        clocks cannot retire them any faster.
+        """
+        return min(max(m.flops_per_s / self.peak_flops, 0.0), 1.0)
+
+    def set_ceiling(self, target_hz: float) -> None:
+        """Program the P-state ceiling through IA32_PERF_CTL."""
+        core = self.ctx.processor.config.core
+        clamped = min(max(target_hz, core.min_freq_hz), core.max_freq_hz)
+        ratio = int(round(clamped / _RATIO_HZ))
+        self.ctx.msr.update_field(MSR.IA32_PERF_CTL, 15, 8, ratio)
+        self.ceiling_hz = ratio * _RATIO_HZ
+
+    def epp_preference(self) -> float:
+        """The socket's energy preference in [0, 1] (0 = performance).
+
+        Reads the HWP view; sockets without an EPB/EPP model report the
+        kernel's neutral 128.  When the model is present its configured
+        bias strength scales the effect, like firmware-mediated HWP.
+        """
+        model = self.ctx.processor.epb_model
+        if model is not None:
+            return min(max(model.dvfs_preference(), 0.0), 1.0)
+        return self.ctx.cpufreq.energy_performance_preference_raw / 255.0
+
+    # -- per-governor policy --------------------------------------------------
+
+    def initial_target_hz(self) -> float:
+        """Ceiling programmed at attach time (before any measurement)."""
+        return self.ctx.processor.config.core.max_freq_hz
+
+    def target_hz(self, m: Measurement) -> float:
+        """The governor's frequency decision for one interval."""
+        raise NotImplementedError
+
+    def tick(self, now_s: float, m: Measurement) -> None:
+        self.set_ceiling(self.target_hz(m))
+        self.log(
+            TickLog(
+                time_s=now_s,
+                cap_w=self.ctx.cap.cap_w,
+                uncore_hz=self.ctx.processor.uncore.frequency_hz,
+            )
+        )
+
+
+class PerformanceFreqGovernor(FrequencyGovernorBase):
+    """Ceiling pinned to the maximum P-state (the paper's testbed)."""
+
+    name = "governor-performance"
+
+    def target_hz(self, m: Measurement) -> float:
+        return self.ctx.processor.config.core.max_freq_hz
+
+
+class PowersaveFreqGovernor(FrequencyGovernorBase):
+    """An EPP-biased fixed operating point below the maximum.
+
+    ``intel_pstate``'s ``powersave`` with HWP: the platform picks an
+    operating point between the floor and ``range_fraction`` of the
+    floor-to-ceiling span, pulled toward the floor as the EPP hint
+    leans toward energy.  Monotone non-increasing in EPP by
+    construction (the property suite pins this).
+    """
+
+    name = "governor-powersave"
+
+    def __init__(
+        self,
+        cfg: ControllerConfig,
+        peak_gflops: float = 180.0,
+        range_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(cfg, peak_gflops)
+        if not 0.0 <= range_fraction <= 1.0:
+            raise ControllerError(f"{self.name}: range_fraction outside [0, 1]")
+        self.range_fraction = range_fraction
+
+    def initial_target_hz(self) -> float:
+        core = self.ctx.processor.config.core
+        span = core.max_freq_hz - core.min_freq_hz
+        reach = span * self.range_fraction
+        return core.min_freq_hz + reach * (1.0 - self.epp_preference())
+
+    def target_hz(self, m: Measurement) -> float:
+        return self.initial_target_hz()
+
+
+class OndemandFreqGovernor(FrequencyGovernorBase):
+    """Jump to maximum above ``up_threshold``, proportional below."""
+
+    name = "governor-ondemand"
+
+    def __init__(
+        self,
+        cfg: ControllerConfig,
+        peak_gflops: float = 180.0,
+        up_threshold: float = 0.8,
+    ) -> None:
+        super().__init__(cfg, peak_gflops)
+        if not 0.0 < up_threshold <= 1.0:
+            raise ControllerError(f"{self.name}: up_threshold outside (0, 1]")
+        self.up_threshold = up_threshold
+
+    def target_hz(self, m: Measurement) -> float:
+        core = self.ctx.processor.config.core
+        util = self.utilisation(m)
+        if util >= self.up_threshold:
+            return core.max_freq_hz
+        span = core.max_freq_hz - core.min_freq_hz
+        return core.min_freq_hz + span * (util / self.up_threshold)
+
+
+class SchedutilFreqGovernor(FrequencyGovernorBase):
+    """The kernel's ``margin · f_max · util`` rule, clamped to bounds."""
+
+    name = "governor-schedutil"
+
+    def __init__(
+        self,
+        cfg: ControllerConfig,
+        peak_gflops: float = 180.0,
+        margin: float = 1.25,
+    ) -> None:
+        super().__init__(cfg, peak_gflops)
+        if margin < 1.0:
+            raise ControllerError(f"{self.name}: margin must be >= 1.0")
+        self.margin = margin
+
+    def target_hz(self, m: Measurement) -> float:
+        core = self.ctx.processor.config.core
+        return self.margin * core.max_freq_hz * self.utilisation(m)

@@ -59,6 +59,12 @@ from .budget import NodeBudgetCoordinator
 from .duf import DUF
 from .dufp import DUFP
 from .extensions import DUFPF, AdaptiveIntervalDUFP
+from .governors import (
+    OndemandFreqGovernor,
+    PerformanceFreqGovernor,
+    PowersaveFreqGovernor,
+    SchedutilFreqGovernor,
+)
 from .split import CoordinatedSplit, FairShareSplit, SplitPolicy, StaticSplit
 
 __all__ = [
@@ -561,6 +567,98 @@ class BudgetPolicy:
             headroom_w=self.headroom_w,
         )
         return coordinator.socket_controller
+
+
+# ---------------------------------------------------------------------------
+# Frequency-governor baselines: the four classic Linux cpufreq policies
+# as controllers, so DUFP sweeps against what a sysadmin gets with one
+# command (PAPERS.md: "How to Increase Energy Efficiency with a Single
+# Linux Command").
+# ---------------------------------------------------------------------------
+
+
+@register_policy(
+    "governor-performance",
+    display_name="cpufreq performance governor",
+    paper_section="V (testbed default)",
+    summary="Core-frequency ceiling pinned to the maximum P-state.",
+)
+@dataclass(frozen=True)
+class GovernorPerformancePolicy:
+    """Parameters of the performance-governor baseline: none."""
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket performance-governor factory."""
+        return lambda: PerformanceFreqGovernor(cfg)
+
+
+@register_policy(
+    "governor-powersave",
+    display_name="cpufreq powersave governor (HWP/EPP biased)",
+    paper_section="VI (related work)",
+    summary="EPP-biased fixed operating point below the maximum P-state.",
+)
+@dataclass(frozen=True)
+class GovernorPowersavePolicy:
+    """Parameters of the powersave-governor baseline."""
+
+    #: Reachable fraction of the floor-to-ceiling frequency span at a
+    #: full-performance EPP hint.
+    range_fraction: float = 0.5
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket powersave-governor factory."""
+        return lambda: PowersaveFreqGovernor(
+            cfg, range_fraction=self.range_fraction
+        )
+
+
+@register_policy(
+    "governor-ondemand",
+    display_name="cpufreq ondemand governor",
+    paper_section="VI (related work)",
+    summary="Maximum P-state above up_threshold utilisation, scaled below.",
+)
+@dataclass(frozen=True)
+class GovernorOndemandPolicy:
+    """Parameters of the ondemand-governor baseline."""
+
+    #: Utilisation above which the governor jumps to the maximum.
+    up_threshold: float = 0.8
+    #: Platform peak compute for the utilisation estimate, GFLOPS.
+    peak_gflops: float = 180.0
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket ondemand-governor factory."""
+        return lambda: OndemandFreqGovernor(
+            cfg,
+            peak_gflops=self.peak_gflops,
+            up_threshold=self.up_threshold,
+        )
+
+
+@register_policy(
+    "governor-schedutil",
+    display_name="cpufreq schedutil governor",
+    paper_section="VI (related work)",
+    summary="The kernel's margin*f_max*util rule, clamped to the P-states.",
+)
+@dataclass(frozen=True)
+class GovernorSchedutilPolicy:
+    """Parameters of the schedutil-governor baseline."""
+
+    #: Headroom multiplier on the utilisation-proportional target.
+    margin: float = 1.25
+    #: Platform peak compute for the utilisation estimate, GFLOPS.
+    peak_gflops: float = 180.0
+
+    def build(self, cfg: ControllerConfig) -> ControllerFactory:
+        """Per-socket schedutil-governor factory."""
+        return lambda: SchedutilFreqGovernor(
+            cfg,
+            peak_gflops=self.peak_gflops,
+            margin=self.margin,
+        )
 
 
 # ---------------------------------------------------------------------------

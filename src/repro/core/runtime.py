@@ -112,7 +112,7 @@ class ControllerRuntime:
                 ),
                 msr=msr,
                 powercap=zone,
-                cpufreq=CpufreqView(proc.dvfs),
+                cpufreq=CpufreqView(proc.dvfs, epb=proc.epb_model),
                 cap=CapActuator(zone, self.cfg),
                 uncore=UncoreActuator(msr, proc.config.uncore, self.cfg),
             )

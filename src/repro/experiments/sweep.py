@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..config import ControllerConfig, EngineConfig, NoiseConfig, with_slowdown
+from ..config import (
+    ControllerConfig,
+    EngineConfig,
+    NoiseConfig,
+    SocketConfig,
+    with_slowdown,
+)
 from ..analysis.tables import format_table
 from ..core.registry import PolicySpec, as_spec, make_spec
 from ..errors import ExperimentError
@@ -112,6 +118,7 @@ def sweep_specs(
     faults: FaultPlan | None = None,
     engine: str = "scalar",
     gpu: GPUNodeConfig | None = None,
+    socket: SocketConfig | None = None,
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
 
@@ -135,6 +142,12 @@ def sweep_specs(
     ``engine`` selects scalar or vectorized-batch execution for every
     cell; results — and cache digests — are identical either way (see
     :class:`~repro.experiments.executor.RunSpec`).
+
+    ``socket`` overrides the platform of every cell (baselines
+    included): C-state/EPB models, multi-die uncore, custom frequency
+    or power windows.  ``None`` keeps the stock
+    :class:`~repro.config.SocketConfig`, whose cache digests are
+    byte-identical to grids that never heard of the parameter.
 
     ``gpu`` turns the grid heterogeneous: every cell carries the
     :class:`~repro.hardware.gpu.GPUNodeConfig` and its ``controllers``
@@ -182,6 +195,7 @@ def sweep_specs(
                 faults=faults,
                 engine=engine,
                 gpu=gpu,
+                socket=socket,
                 label=f"{app_name}/{baseline.label}",
             )
         )
@@ -202,6 +216,7 @@ def sweep_specs(
                         faults=faults,
                         engine=engine,
                         gpu=gpu,
+                        socket=socket,
                         label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
                 )
@@ -222,6 +237,7 @@ def run_sweep(
     faults: FaultPlan | None = None,
     engine: str = "scalar",
     gpu: GPUNodeConfig | None = None,
+    socket: SocketConfig | None = None,
     workers: int = 1,
     cache: ResultCache | str | None = None,
     shard_size: int | None = None,
@@ -256,6 +272,7 @@ def run_sweep(
         faults=faults,
         engine=engine,
         gpu=gpu,
+        socket=socket,
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)

@@ -1,0 +1,142 @@
+"""Core C-state residency model (opt-in; Skylake-SP shaped).
+
+The paper's testbed runs the ``performance`` governor with deep
+C-states effectively unused — idle cores stay in C0 burning the
+``core_idle_fraction`` share of their dynamic power, which is exactly
+what :mod:`repro.hardware.power` models.  Real platforms expose the
+cpuidle ladder mapped by pepc's ``CStates`` module: idle cores demote
+into C1 (clock gated) or C6 (power gated), each state trading an exit
+latency against an idle-power delta, with residency accounted in
+package counters (``MSR_PKG_C*_RESIDENCY``).
+
+:class:`CStateModel` reproduces that trade deterministically from the
+phase's declared ``idleness``:
+
+* the idle fraction of wall time splits between C1 and C6 — the C6
+  share grows with idleness (longer sleeps survive the menu governor's
+  demotion heuristics) and shrinks with the phase's latency
+  sensitivity;
+* the blended residency scales the *idle* term of core dynamic power
+  (:meth:`idle_scale` multiplies ``core_idle_fraction``);
+* every wakeup pays the residency-weighted exit latency, shaving a few
+  tenths of a percent off achieved rates (:meth:`perf_scale`);
+* residency accumulates into TSC-unit counters exposed through two
+  residency MSRs, with a rollover fault hook for telemetry hardening.
+
+The model only exists when :class:`~repro.config.SocketConfig` carries
+a :class:`~repro.config.CStateConfig`; the default ``None`` keeps the
+legacy always-C0 path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import CoreConfig, CStateConfig
+from ..errors import SimulationError
+from .msr import MSR, MSRFile
+
+__all__ = ["CStateSlice", "CStateModel"]
+
+#: Residency counters wrap at 64 bits on real hardware; the rollover
+#: fault truncates to 32 bits, the classic firmware-accounting bug.
+_COUNTER_WRAP_BITS = 32
+
+
+@dataclass(frozen=True)
+class CStateSlice:
+    """Resolved residency split for one step (fractions of wall time)."""
+
+    c0: float
+    c1: float
+    c6: float
+    #: Multiplier on the core-power idle term (1.0 = all-C0 legacy).
+    idle_scale: float
+    #: Multiplier on achieved rates after wakeup exit latencies (<= 1).
+    perf_scale: float
+
+
+@dataclass
+class CStateModel:
+    """Per-socket C-state residency accounting and power/perf deltas."""
+
+    config: CStateConfig
+    core: CoreConfig
+    #: Cumulative residency, seconds of wall time per state.
+    c1_residency_s: float = 0.0
+    c6_residency_s: float = 0.0
+    #: Consulted once per step when set; ``True`` truncates the raw
+    #: counters to 32 bits (a firmware rollover the telemetry must
+    #: survive).  Wired to the fault injector by the engine.
+    rollover_fault: Callable[[], bool] | None = None
+    _c1_raw: int = field(init=False, default=0)
+    _c6_raw: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self.core.validate()
+
+    # -- residency resolution -------------------------------------------------
+
+    def resolve(
+        self, idleness: float, latency_sensitivity: float = 0.0
+    ) -> CStateSlice:
+        """Split ``idleness`` of wall time across the C-state ladder."""
+        if not 0.0 <= idleness <= 1.0:
+            raise SimulationError(f"idleness {idleness!r} outside [0, 1]")
+        cfg = self.config
+        demotion = min(max(latency_sensitivity, 0.0), 1.0)
+        c6_share = cfg.c6_max_share * idleness * (1.0 - demotion)
+        c6 = idleness * c6_share
+        c1 = idleness - c6
+        idle_power = 0.0
+        if idleness > 0.0:
+            blended = (
+                c1 * cfg.c1_power_fraction + c6 * cfg.c6_power_fraction
+            ) / idleness
+            idle_power = blended
+        idle_scale = (1.0 - idleness) + idleness * idle_power
+        # Each wakeup pays the residency-weighted exit latency; the lost
+        # time dilates the phase (achieved rates scale down).
+        exit_s = 0.0
+        if idleness > 0.0:
+            exit_s = (
+                c1 * cfg.c1_exit_latency_s + c6 * cfg.c6_exit_latency_s
+            ) / idleness
+        lost = min(cfg.wakeup_rate_hz * idleness * exit_s, 1.0)
+        return CStateSlice(
+            c0=1.0 - idleness,
+            c1=c1,
+            c6=c6,
+            idle_scale=idle_scale,
+            perf_scale=1.0 - lost,
+        )
+
+    def advance(self, dt_s: float, slice_: CStateSlice) -> None:
+        """Accumulate residency counters for one step."""
+        if dt_s <= 0:
+            raise SimulationError("CStateModel.advance: non-positive dt")
+        self.c1_residency_s += slice_.c1 * dt_s
+        self.c6_residency_s += slice_.c6 * dt_s
+        self._c1_raw = int(self.c1_residency_s * self.core.base_freq_hz)
+        self._c6_raw = int(self.c6_residency_s * self.core.base_freq_hz)
+        if self.rollover_fault is not None and self.rollover_fault():
+            mask = (1 << _COUNTER_WRAP_BITS) - 1
+            self._c1_raw &= mask
+            self._c6_raw &= mask
+
+    # -- MSR wiring -----------------------------------------------------------
+
+    def attach_msrs(self, msrs: MSRFile) -> None:
+        """Expose the package residency counters (TSC units, read-only)."""
+        msrs.define(
+            MSR.MSR_PKG_C2_RESIDENCY,
+            writable=False,
+            read_hook=lambda: self._c1_raw,
+        )
+        msrs.define(
+            MSR.MSR_PKG_C6_RESIDENCY,
+            writable=False,
+            read_hook=lambda: self._c6_raw,
+        )

@@ -1,0 +1,123 @@
+"""Energy-performance bias / HWP preference model (opt-in).
+
+Real Intel parts expose two layered energy-performance hints, mapped by
+pepc's ``EPB`` and ``EPP`` modules:
+
+* ``IA32_ENERGY_PERF_BIAS`` (0x1B0) — the legacy 4-bit package knob
+  (0 = performance, 15 = power);
+* the ``energy_performance_preference`` byte in ``IA32_HWP_REQUEST``
+  (0x774, bits 31:24; 0 = performance, 255 = power).
+
+Firmware folds the hints into its operating-point choices: a
+power-leaning preference shrinks the uncore frequency ceiling and pulls
+governor frequency targets down.  :class:`EPBModel` reproduces both
+registers (with a write-latch fault hook on the HWP request — EPP
+writes on real parts are mediated by firmware and occasionally do not
+stick) and exposes the bias factors the uncore driver and the
+``powersave`` governor baseline consume.
+
+The model only exists when :class:`~repro.config.SocketConfig` carries
+an :class:`~repro.config.EPBConfig`; the default ``None`` leaves the
+MSR file and every operating-point decision bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import EPBConfig
+from ..errors import HardwareError
+from .msr import MSR, MSRFile, get_bits, set_bits
+
+__all__ = ["EPBModel", "EPP_PREFERENCE_NAMES"]
+
+#: Sysfs-style preference names for the common EPP anchor values, as
+#: ``/sys/devices/system/cpu/cpufreq/policy*/energy_performance_preference``
+#: reports them.
+EPP_PREFERENCE_NAMES: dict[int, str] = {
+    0: "performance",
+    64: "balance_performance",
+    128: "balance_power",
+    255: "power",
+}
+
+
+@dataclass
+class EPBModel:
+    """EPB/EPP hint registers and the operating-point biases they drive."""
+
+    config: EPBConfig
+    epb: int = field(init=False)
+    epp: int = field(init=False)
+    #: Consulted on every HWP-request write when set; ``True`` means the
+    #: firmware mediator dropped the write (the register keeps its old
+    #: value).  Wired to the fault injector by the engine.
+    write_latch_fault: Callable[[], bool] | None = None
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self.epb = self.config.epb
+        self.epp = self.config.epp
+
+    # -- hint setters ---------------------------------------------------------
+
+    def set_epb(self, value: int) -> None:
+        if not 0 <= value <= 15:
+            raise HardwareError(f"EPB {value!r} outside [0, 15]")
+        self.epb = int(value)
+
+    def set_epp(self, value: int) -> bool:
+        """Request a new EPP; returns False if the firmware dropped it."""
+        if not 0 <= value <= 255:
+            raise HardwareError(f"EPP {value!r} outside [0, 255]")
+        if self.write_latch_fault is not None and self.write_latch_fault():
+            return False
+        self.epp = int(value)
+        return True
+
+    # -- bias factors ---------------------------------------------------------
+
+    @property
+    def preference(self) -> float:
+        """Blended energy preference in [0, 1] (0 = performance)."""
+        return (self.epp / 255.0 + self.epb / 15.0) / 2.0
+
+    def uncore_hi_scale(self) -> float:
+        """Factor shrinking the uncore window ceiling toward its floor.
+
+        1.0 leaves the window untouched; 0.0 collapses it onto the
+        floor.  Linear in the blended preference, scaled by the
+        configured strength.
+        """
+        return 1.0 - self.config.uncore_bias_strength * self.preference
+
+    def dvfs_preference(self) -> float:
+        """Energy preference as governors consume it, in [0, 1]."""
+        return self.config.dvfs_bias_strength * self.preference
+
+    # -- MSR wiring -----------------------------------------------------------
+
+    def attach_msrs(self, msrs: MSRFile) -> None:
+        """Expose IA32_ENERGY_PERF_BIAS and IA32_HWP_REQUEST."""
+
+        def _write_epb(value: int) -> None:
+            self.set_epb(get_bits(value, 3, 0))
+
+        def _write_hwp_request(value: int) -> None:
+            self.set_epp(get_bits(value, 31, 24))
+
+        def _read_hwp_request() -> int:
+            return set_bits(0, 31, 24, self.epp)
+
+        msrs.define(
+            MSR.IA32_ENERGY_PERF_BIAS,
+            initial=self.epb,
+            write_hook=_write_epb,
+        )
+        msrs.define(
+            MSR.IA32_HWP_REQUEST,
+            initial=set_bits(0, 31, 24, self.epp),
+            write_hook=_write_hwp_request,
+            read_hook=_read_hwp_request,
+        )

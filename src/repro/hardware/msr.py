@@ -42,12 +42,22 @@ class MSR:
     IA32_APERF = 0xE8
     IA32_PERF_STATUS = 0x198
     IA32_PERF_CTL = 0x199
+    IA32_ENERGY_PERF_BIAS = 0x1B0
+    #: Package C-state residency counters (Skylake-SP layout).
+    MSR_PKG_C2_RESIDENCY = 0x60D
+    MSR_PKG_C6_RESIDENCY = 0x3F9
     MSR_RAPL_POWER_UNIT = 0x606
     MSR_PKG_POWER_LIMIT = 0x610
     MSR_PKG_ENERGY_STATUS = 0x611
     MSR_DRAM_ENERGY_STATUS = 0x619
     MSR_UNCORE_RATIO_LIMIT = 0x620
     MSR_UNCORE_PERF_STATUS = 0x621
+    IA32_HWP_REQUEST = 0x774
+    #: Synthetic TPMI uncore-frequency-scaling register block: each die
+    #: *i* gets a control register at ``TPMI_UFS_BASE + 2·i`` (min/max
+    #: ratio, same 0x620 field layout) and a status register at
+    #: ``TPMI_UFS_BASE + 2·i + 1`` (current ratio).
+    TPMI_UFS_BASE = 0x2000
 
 
 _MASK64 = (1 << 64) - 1

@@ -50,12 +50,22 @@ class PackagePowerModel:
 
     # -- forward model ---------------------------------------------------------
 
-    def core_power(self, freq_hz: float, activity: float) -> float:
-        """Dynamic power of all cores at ``freq_hz`` with given activity."""
+    def core_power(
+        self, freq_hz: float, activity: float, idle_scale: float = 1.0
+    ) -> float:
+        """Dynamic power of all cores at ``freq_hz`` with given activity.
+
+        ``idle_scale`` multiplies the activity-independent ``a0`` term;
+        the C-state model passes < 1 when idle cores park in C1/C6.
+        The default 1.0 is the legacy all-C0 path, bit-for-bit
+        (``a0 * 1.0 == a0`` exactly in IEEE 754).
+        """
         self._check_unit("activity", activity)
+        if not 0.0 <= idle_scale <= 1.0:
+            raise ValueError(f"idle_scale must be in [0, 1], got {idle_scale!r}")
         v = self.core_cfg.voltage_at(freq_hz)
         a0 = self.cfg.core_idle_fraction
-        scale = a0 + (1.0 - a0) * activity
+        scale = a0 * idle_scale + (1.0 - a0) * activity
         return self.core_cfg.count * self.cfg.k_core * v * v * (freq_hz / 1e9) * scale
 
     def uncore_power(self, uncore_hz: float, traffic: float) -> float:
@@ -66,6 +76,22 @@ class PackagePowerModel:
         scale = u0 + (1.0 - u0) * traffic
         return self.cfg.k_uncore * v * v * (uncore_hz / 1e9) * scale
 
+    def uncore_power_dies(
+        self, dies: "tuple[tuple[float, float], ...]"
+    ) -> float:
+        """Uncore power summed over per-die ``(freq_hz, traffic)`` loads.
+
+        Each die owns ``1/N`` of the socket's uncore silicon, so at
+        equal per-die frequency and traffic the sum matches the
+        single-domain model.  Multi-die configs (``die_count > 1``) are
+        the only callers; the legacy path never reaches this method.
+        """
+        if not dies:
+            raise ValueError("uncore_power_dies: no die loads")
+        return sum(
+            self.uncore_power(freq_hz, traffic) for freq_hz, traffic in dies
+        ) / len(dies)
+
     def package_power(
         self,
         freq_hz: float,
@@ -73,18 +99,28 @@ class PackagePowerModel:
         activity: float,
         traffic: float,
         core_boost: float = 1.0,
+        core_idle_scale: float = 1.0,
+        uncore_dies: "tuple[tuple[float, float], ...] | None" = None,
     ) -> PowerBreakdown:
         """Full package power breakdown.
 
         ``core_boost`` scales core dynamic power for high-current code
         (wide-vector bursts) without touching the counters.
+        ``core_idle_scale`` is the C-state idle-power delta (1.0 = all
+        C0); ``uncore_dies`` replaces the single-domain uncore term
+        with per-die loads on multi-die parts.
         """
         if core_boost <= 0:
             raise ValueError("core_boost must be positive")
+        if uncore_dies is not None:
+            uncore_w = self.uncore_power_dies(uncore_dies)
+        else:
+            uncore_w = self.uncore_power(uncore_hz, traffic)
         return PowerBreakdown(
             static_w=self.cfg.static_w,
-            core_w=self.core_power(freq_hz, activity) * core_boost,
-            uncore_w=self.uncore_power(uncore_hz, traffic),
+            core_w=self.core_power(freq_hz, activity, core_idle_scale)
+            * core_boost,
+            uncore_w=uncore_w,
         )
 
     # -- inverse model (RAPL clamp selection) -----------------------------------
@@ -96,6 +132,7 @@ class PackagePowerModel:
         activity: float,
         traffic: float,
         core_boost: float = 1.0,
+        uncore_dies: "tuple[tuple[float, float], ...] | None" = None,
     ) -> float:
         """Highest P-state whose package power fits ``budget_w``.
 
@@ -107,7 +144,11 @@ class PackagePowerModel:
         if core_boost <= 0:
             raise ValueError("core_boost must be positive")
         floor = self.core_cfg.min_freq_hz
-        non_core = self.cfg.static_w + self.uncore_power(uncore_hz, traffic)
+        if uncore_dies is not None:
+            uncore_w = self.uncore_power_dies(uncore_dies)
+        else:
+            uncore_w = self.uncore_power(uncore_hz, traffic)
+        non_core = self.cfg.static_w + uncore_w
         budget_cores = budget_w - non_core
         best = floor
         cfg = self.core_cfg

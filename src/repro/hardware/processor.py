@@ -18,18 +18,20 @@ current phase:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..config import SocketConfig
 from ..errors import SimulationError
+from .cstates import CStateModel
 from .dvfs import PStateDriver
+from .epb import EPBModel
 from .memory import MemorySystem
 from .msr import MSRFile
 from .perf import ExecutionRates, PhaseExecutionModel
 from .power import PackagePowerModel, PowerBreakdown
 from .rapl import RAPLPackage
 from .thermal import ThermalModel
-from .uncore import UncoreDriver
+from .uncore import TpmiUncore, UncoreDriver, build_uncore
 
 __all__ = ["PhaseWork", "ProcessorState", "SimulatedProcessor"]
 
@@ -57,6 +59,9 @@ class PhaseWork:
     #: so under a cap RAPL throttles while the 200 ms counters barely
     #: move — the paper's LAMMPS aliasing.
     power_boost: float = 1.0
+    #: Fraction of wall time the cores are idle (I/O or barrier slack);
+    #: consulted only by the optional C-state model.
+    idleness: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,8 @@ class SimulatedProcessor:
     memory: MemorySystem = field(init=False)
     perf: PhaseExecutionModel = field(init=False)
     thermal: ThermalModel | None = field(init=False, default=None)
+    cstates: CStateModel | None = field(init=False, default=None)
+    epb_model: EPBModel | None = field(init=False, default=None)
 
     #: Cumulative retired floating-point operations.
     flops_retired: float = 0.0
@@ -105,7 +112,7 @@ class SimulatedProcessor:
         self.config.validate()
         self.msrs = MSRFile()
         self.dvfs = PStateDriver(self.config.core)
-        self.uncore = UncoreDriver(self.config.uncore)
+        self.uncore = build_uncore(self.config.uncore)
         self.rapl = RAPLPackage(self.config.rapl)
         self.power_model = PackagePowerModel(
             self.config.core, self.config.uncore, self.config.power
@@ -120,6 +127,15 @@ class SimulatedProcessor:
         if self.config.thermal is not None:
             self.thermal = ThermalModel(self.config.thermal)
             self.thermal.attach_msrs(self.msrs)
+        if self.config.cstates is not None:
+            self.cstates = CStateModel(self.config.cstates, self.config.core)
+            self.cstates.attach_msrs(self.msrs)
+        if self.config.epb is not None:
+            self.epb_model = EPBModel(self.config.epb)
+            self.epb_model.attach_msrs(self.msrs)
+            # EPP pulls the effective uncore window ceiling toward the
+            # floor; the hook stays live as hints change mid-run.
+            self.uncore.epp_bias = self.epb_model.uncore_hi_scale
 
     # -- main advance ---------------------------------------------------------------
 
@@ -138,12 +154,16 @@ class SimulatedProcessor:
         # microseconds, faster than one engine step.
         boost = work.power_boost if work is not None else 1.0
         budget = self.rapl.allowed_power()
+        multi_die = isinstance(self.uncore, TpmiUncore)
         clamp = self.power_model.max_core_freq_under(
             budget,
             self.uncore.frequency_hz,
             self._prev_activity,
             self._prev_traffic,
             core_boost=boost,
+            uncore_dies=(
+                self.uncore.die_loads(self._prev_traffic) if multi_die else None
+            ),
         )
         self.dvfs.set_rapl_clamp(clamp)
 
@@ -186,6 +206,27 @@ class SimulatedProcessor:
             )
             progress = 0.0
 
+        # 3b. C-states (opt-in): idle residency cuts the core idle-power
+        # term and wakeup exit latencies shave the achieved rates.  Only
+        # in-phase idleness counts: a socket with no work spins at the
+        # barrier in C0 (the paper testbed's polling wait), so idle-free
+        # work stays bit-for-bit the legacy path.
+        core_idle_scale = 1.0
+        if self.cstates is not None and work is not None:
+            idleness = work.idleness
+            sensitivity = work.latency_sensitivity
+            cslice = self.cstates.resolve(idleness, sensitivity)
+            self.cstates.advance(dt_s, cslice)
+            core_idle_scale = cslice.idle_scale
+            if cslice.perf_scale < 1.0 and rates.progress_rate > 0.0:
+                rates = replace(
+                    rates,
+                    flops_rate=rates.flops_rate * cslice.perf_scale,
+                    bytes_rate=rates.bytes_rate * cslice.perf_scale,
+                    progress_rate=rates.progress_rate * cslice.perf_scale,
+                )
+                progress = rates.progress_rate * dt_s
+
         # 4. Power, energy, counters.
         pkg = self.power_model.package_power(
             core_hz,
@@ -193,6 +234,10 @@ class SimulatedProcessor:
             rates.core_activity,
             rates.traffic_util,
             core_boost=boost,
+            core_idle_scale=core_idle_scale,
+            uncore_dies=(
+                self.uncore.die_loads(rates.traffic_util) if multi_die else None
+            ),
         )
         dram_traffic = rates.bytes_rate
         if work is not None and work.overfetch > 0.0:

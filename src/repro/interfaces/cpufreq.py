@@ -10,8 +10,13 @@ from dataclasses import dataclass
 
 from ..errors import FrequencyError
 from ..hardware.dvfs import PStateDriver
+from ..hardware.epb import EPBModel, EPP_PREFERENCE_NAMES
 
 __all__ = ["CpufreqView"]
+
+#: HWP preference reported when the socket has no EPB/EPP model — the
+#: kernel's balanced default.
+_EPP_NEUTRAL = 128
 
 
 @dataclass
@@ -19,6 +24,10 @@ class CpufreqView:
     """Read-only cpufreq attributes for the cores of one socket."""
 
     dvfs: PStateDriver
+    #: The socket's EPB/EPP model, when configured; ``None`` makes the
+    #: HWP attributes below report the kernel's neutral defaults, the
+    #: way ``intel_pstate`` fabricates them on non-HWP parts.
+    epb: EPBModel | None = None
 
     @property
     def scaling_cur_freq_khz(self) -> int:
@@ -51,3 +60,26 @@ class CpufreqView:
         if mperf_delta <= 0:
             raise FrequencyError("aperf_mperf_freq_hz: non-positive MPERF delta")
         return self.dvfs.measured_freq(aperf_delta, mperf_delta)
+
+    # -- HWP-shaped attributes (intel_pstate sysfs layout) ---------------------
+
+    @property
+    def energy_performance_preference_raw(self) -> int:
+        """The numeric EPP byte (0 = performance, 255 = power)."""
+        return self.epb.epp if self.epb is not None else _EPP_NEUTRAL
+
+    @property
+    def energy_performance_preference(self) -> str:
+        """The sysfs preference string (named anchor or raw number)."""
+        raw = self.energy_performance_preference_raw
+        return EPP_PREFERENCE_NAMES.get(raw, str(raw))
+
+    @property
+    def energy_performance_available_preferences(self) -> tuple[str, ...]:
+        """The named anchors, as sysfs lists them."""
+        return ("default",) + tuple(EPP_PREFERENCE_NAMES.values())
+
+    @property
+    def energy_perf_bias(self) -> int:
+        """The legacy EPB knob (0 = performance, 15 = power)."""
+        return self.epb.epb if self.epb is not None else 6

@@ -56,7 +56,7 @@ from ..core.tolerance import SlowdownLanes
 from ..core.uncore_actuator import UncoreLanes
 from ..errors import SimulationError
 from ..hardware.dvfs import PerformanceGovernor, PowersaveGovernor
-from ..hardware.uncore import DefaultUncoreGovernor
+from ..hardware.uncore import DefaultUncoreGovernor, TpmiUncore
 from ..papi.events import CACHE_LINE_BYTES
 from ..units import smooth_max
 from .engine import _DONE_EPS, _MIN_SLICE_S, RunContext, SimulationEngine
@@ -73,9 +73,12 @@ __all__ = [
 def batch_fallback_reason(engine: SimulationEngine) -> str | None:
     """Why ``engine`` cannot join a batch (``None`` when it can).
 
-    The batch kernels hard-code the stock governor behaviours; any
-    custom governor object could carry state or policy the arrays do
-    not model, so such runs take the scalar path.
+    The batch kernels hard-code the stock governor behaviours and the
+    legacy single-domain platform models; any custom governor object
+    could carry state or policy the arrays do not model, and the
+    opt-in platform models (multi-die uncore, C-states, EPB/EPP) only
+    exist in the scalar object graph, so such runs take the scalar
+    path.
     """
     for proc in engine.machine.processors:
         if type(proc.dvfs.governor) not in (
@@ -89,6 +92,15 @@ def batch_fallback_reason(engine: SimulationEngine) -> str | None:
             return (
                 f"non-default uncore governor {type(proc.uncore.governor).__name__}"
             )
+        if isinstance(proc.uncore, TpmiUncore):
+            return (
+                f"multi-die uncore ({proc.config.uncore.die_count} dies) "
+                "models per-die clocks the lockstep arrays do not"
+            )
+        if proc.cstates is not None:
+            return "C-state residency model needs the scalar power path"
+        if proc.epb_model is not None:
+            return "EPB/EPP hint model needs the scalar operating-point path"
     return None
 
 
@@ -102,6 +114,9 @@ def controller_lane_fallback_reason(engine: SimulationEngine) -> str | None:
     * no active fault plan — injected meter/tick/latch faults flow
       through the scalar runtime's degraded-telemetry machinery, which
       only the real object graph implements;
+    * a single-domain uncore — the vector actuator models one uncore
+      clock per lane, so per-die (TPMI) sockets get their own pinned
+      reason rather than falling through to a generic one;
     * every controller registered a lane-parallel tick form (exact
       type match: subclasses carry extra state the vector forms do not
       model and fall back automatically);
@@ -111,6 +126,12 @@ def controller_lane_fallback_reason(engine: SimulationEngine) -> str | None:
     """
     if engine.faults is not None and engine.faults.active:
         return "active fault plan needs the scalar telemetry stack"
+    for proc in engine.machine.processors:
+        if isinstance(proc.uncore, TpmiUncore):
+            return (
+                f"multi-die uncore ({proc.config.uncore.die_count} dies): "
+                "lane kernels model one uncore clock per lane"
+            )
     for ctrl in engine.controllers:
         if vector_tick_form(ctrl) is None:
             return (

@@ -144,6 +144,14 @@ class SimulationEngine:
             )
             for sid, proc in enumerate(self.machine.processors):
                 proc.rapl.latch_fault = injector.latch_port(sid)
+                if proc.cstates is not None:
+                    proc.cstates.rollover_fault = (
+                        lambda sid=sid: injector.cstate_rollover(sid)
+                    )
+                if proc.epb_model is not None:
+                    proc.epb_model.write_latch_fault = (
+                        lambda sid=sid: injector.epp_write_latch_fails(sid)
+                    )
         runtime = ControllerRuntime(
             processors=self.machine.processors,
             controllers=self.controllers,

@@ -129,6 +129,24 @@ class FaultPlan:
         default=0.25,
         metadata={"range": (0.0, 10.0), "digest_omit_default": True},
     )
+    #: Probability (per step with a C-state model) the package residency
+    #: counters truncate to 32 bits — the classic firmware-accounting
+    #: rollover telemetry must survive.  Only sockets configured with a
+    #: :class:`~repro.config.CStateConfig` consult the channel; the
+    #: ``digest_omit_default`` metadata keeps pre-existing plan digests
+    #: byte-identical while it is off.
+    cstate_rollover_rate: float = field(
+        default=0.0,
+        metadata={"range": (0.0, 1.0), "digest_omit_default": True},
+    )
+    #: Probability an EPP (HWP request) write is dropped by the firmware
+    #: mediator — the hint register keeps its previous value.  Only
+    #: sockets configured with an :class:`~repro.config.EPBConfig`
+    #: consult the channel.
+    epp_write_latch_fail_rate: float = field(
+        default=0.0,
+        metadata={"range": (0.0, 1.0), "digest_omit_default": True},
+    )
     #: Simulated time at which the channels arm, seconds.
     start_s: float = 0.0
     #: Simulated time at which the channels disarm, seconds.
@@ -170,6 +188,8 @@ FAULT_CHANNELS: dict[str, str] = {
     "tick_jitter": "tick_jitter_rate",
     "gpu_cap_latch_fail": "gpu_cap_latch_fail_rate",
     "gpu_stall": "gpu_queue_stall_rate",
+    "cstate_rollover": "cstate_rollover_rate",
+    "epp_latch_fail": "epp_write_latch_fail_rate",
 }
 
 #: Non-rate fields settable through the spec grammar.
@@ -375,6 +395,22 @@ class FaultInjector:
             self._fire(device_id, "gpu_stall", detail=f"+{stall:g}s")
             return stall
         return 0.0
+
+    # -- platform-model channels (C-state / EPB sockets only) --------------------
+
+    def cstate_rollover(self, socket_id: int) -> bool:
+        """Should the residency counters truncate to 32 bits this step?"""
+        if self._draw(self.plan.cstate_rollover_rate):
+            self._fire(socket_id, "cstate_rollover")
+            return True
+        return False
+
+    def epp_write_latch_fails(self, socket_id: int) -> bool:
+        """Should this EPP (HWP request) write be silently dropped?"""
+        if self._draw(self.plan.epp_write_latch_fail_rate):
+            self._fire(socket_id, "epp_latch_fail")
+            return True
+        return False
 
     # -- tick channels (per due tick, node-wide) ---------------------------------
 

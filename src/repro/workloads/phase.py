@@ -42,6 +42,11 @@ class Phase:
     overfetch: float = 0.0
     #: Core power multiplier (> 1 for high-current vector bursts).
     power_boost: float = 1.0
+    #: Fraction of wall time the cores spend with no work queued (I/O,
+    #: barrier or load-imbalance slack).  Only consulted by the C-state
+    #: model; with C-states disabled idle cores still burn C0 power, as
+    #: on the paper's performance-governor testbed.
+    idleness: float = 0.0
 
     def __post_init__(self) -> None:
         if self.flops < 0 or self.bytes < 0:
@@ -55,6 +60,8 @@ class Phase:
                 raise WorkloadError(f"phase {self.name!r}: negative {attr}")
         if self.power_boost <= 0:
             raise WorkloadError(f"phase {self.name!r}: non-positive power_boost")
+        if not 0.0 <= self.idleness < 1.0:
+            raise WorkloadError(f"phase {self.name!r}: idleness must be in [0, 1)")
 
     @property
     def operational_intensity(self) -> float:
@@ -73,6 +80,7 @@ class Phase:
             uncore_sensitivity=self.uncore_sensitivity,
             overfetch=self.overfetch,
             power_boost=self.power_boost,
+            idleness=self.idleness,
         )
 
     def scaled(self, factor: float) -> "Phase":
@@ -88,6 +96,7 @@ class Phase:
             uncore_sensitivity=self.uncore_sensitivity,
             overfetch=self.overfetch,
             power_boost=self.power_boost,
+            idleness=self.idleness,
         )
 
 

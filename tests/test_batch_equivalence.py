@@ -23,7 +23,7 @@ import sys
 import pytest
 
 from repro.config import ControllerConfig, NoiseConfig
-from repro.core.registry import as_spec, policy_names
+from repro.core.registry import as_spec, policy_info, policy_names
 from repro.sim.batch import BatchSimulationEngine, run_batch
 from repro.sim.export import run_summary, write_trace_jsonl
 from repro.sim.faults import FaultPlan
@@ -251,9 +251,15 @@ MATRIX_PLANS = {"clean": None, "faults": PLAN}
 @pytest.mark.slow
 @pytest.mark.parametrize("app", MATRIX_APPS)
 @pytest.mark.parametrize("plan_name", sorted(MATRIX_PLANS))
-@pytest.mark.parametrize("policy", policy_names())
+@pytest.mark.parametrize(
+    # Hetero split policies build SplitPolicy objects for the hetero
+    # engine, not per-socket controller factories; their scalar-vs-batch
+    # behaviour is covered by the hetero suites.
+    "policy",
+    [n for n in policy_names() if not policy_info(n).hetero],
+)
 def test_matrix_equivalence(policy, app, plan_name):
-    """Every registered policy × workload sample × fault plan."""
+    """Every registered CPU policy × workload sample × fault plan."""
     seed = 1009 * len(policy) + len(app) + (17 if plan_name == "faults" else 0)
     _run_pair(
         policy, app, faults=MATRIX_PLANS[plan_name], seed=seed, scale=0.08

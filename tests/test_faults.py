@@ -382,6 +382,143 @@ class TestEventExport:
         assert summary["fault_events"][0]["channel"] == "msr_fail"
 
 
+class TestPlatformFaultChannels:
+    """The C-state rollover and EPP write-latch channels.
+
+    Both only bite on sockets that opt into the platform models
+    (``SocketConfig.cstates`` / ``SocketConfig.epb``); at zero rate —
+    or on legacy sockets — they draw nothing, keeping every existing
+    stream and digest byte-identical.
+    """
+
+    @staticmethod
+    def _platform_socket():
+        from repro.config import CStateConfig, EPBConfig, SocketConfig
+
+        return replace(
+            SocketConfig(), cstates=CStateConfig(), epb=EPBConfig()
+        )
+
+    @staticmethod
+    def _idle_app(scale=0.3, idleness=0.3):
+        app = build_application("CG", scale=scale)
+        phases = tuple(replace(p, idleness=idleness) for p in app.phases)
+        return type(app)(
+            name=app.name, phases=phases, structure=app.structure
+        )
+
+    def _platform_run(self, faults, seed=3):
+        from repro.hardware.topology import MachineConfig
+        from repro.sim.machine import SimulatedMachine
+
+        socket = self._platform_socket()
+        return run_application(
+            self._idle_app(),
+            lambda: DUFP(CFG),
+            controller_cfg=CFG,
+            machine=SimulatedMachine(
+                MachineConfig(socket=socket, socket_count=1)
+            ),
+            noise=QUIET,
+            seed=seed,
+            faults=faults,
+        )
+
+    def test_parse_grammar_accepts_the_new_channels(self):
+        plan = parse_fault_plan("cstate_rollover=0.1,epp_latch_fail=0.2")
+        assert plan.cstate_rollover_rate == 0.1
+        assert plan.epp_write_latch_fail_rate == 0.2
+
+    def test_rollover_truncates_residency_counters(self):
+        from repro.config import CStateConfig, yeti_socket_config
+        from repro.hardware.cstates import CStateModel
+
+        wrap = 1 << 32
+        model = CStateModel(CStateConfig(), yeti_socket_config().core)
+        sl = model.resolve(0.9, 0.0)
+        model.advance(10.0, sl)
+        # Sanity: enough residency accumulated for the wrap to matter.
+        assert model._c6_raw > wrap
+        faulted = CStateModel(CStateConfig(), yeti_socket_config().core)
+        faulted.rollover_fault = lambda: True
+        faulted.advance(10.0, sl)
+        assert 0 <= faulted._c1_raw < wrap
+        assert 0 <= faulted._c6_raw < wrap
+        # The truncation is the 32-bit wrap, not a reset.
+        assert faulted._c6_raw == model._c6_raw % wrap
+
+    def test_rollover_events_recorded_end_to_end(self):
+        res = self._platform_run(FaultPlan(cstate_rollover_rate=0.5))
+        assert math.isfinite(res.execution_time_s)
+        assert any(e.channel == "cstate_rollover" for e in res.fault_events)
+
+    def test_epp_latch_fault_drops_the_write(self):
+        from repro.config import EPBConfig
+        from repro.hardware.epb import EPBModel
+        from repro.hardware.msr import MSR, MSRFile, get_bits, set_bits
+
+        model = EPBModel(EPBConfig())
+        model.write_latch_fault = lambda: True
+        assert model.set_epp(42) is False
+        assert model.epp == EPBConfig().epp
+        # Same through the HWP-request MSR path.
+        msrs = MSRFile()
+        model.attach_msrs(msrs)
+        msrs.write(MSR.IA32_HWP_REQUEST, set_bits(0, 31, 24, 42))
+        assert get_bits(msrs.read(MSR.IA32_HWP_REQUEST), 31, 24) == 128
+        model.write_latch_fault = lambda: False
+        assert model.set_epp(42) is True
+        assert model.epp == 42
+
+    def test_epp_latch_injector_records_events(self):
+        inj = FaultInjector(
+            FaultPlan(epp_write_latch_fail_rate=1.0), seed=0
+        )
+        assert inj.epp_write_latch_fails(2)
+        assert inj.events[-1].channel == "epp_latch_fail"
+        assert inj.events[-1].socket_id == 2
+
+    def test_engine_wires_the_platform_hooks(self):
+        from repro.hardware.topology import MachineConfig
+        from repro.sim.machine import SimulatedMachine
+        from repro.sim.run import build_engine
+
+        socket = self._platform_socket()
+        engine = build_engine(
+            self._idle_app(),
+            lambda: DUFP(CFG),
+            controller_cfg=CFG,
+            machine=SimulatedMachine(
+                MachineConfig(socket=socket, socket_count=1)
+            ),
+            noise=QUIET,
+            seed=3,
+            faults=FaultPlan(
+                cstate_rollover_rate=1.0, epp_write_latch_fail_rate=1.0
+            ),
+        )
+        ctx = engine.prepare()
+        proc = engine.machine.processors[0]
+        assert proc.cstates is not None
+        assert proc.cstates.rollover_fault is not None
+        assert proc.epb_model is not None
+        assert proc.epb_model.write_latch_fault is not None
+        assert proc.epb_model.set_epp(7) is False
+        assert any(
+            e.channel == "epp_latch_fail" for e in ctx.injector.events
+        )
+
+    def test_zero_rates_on_platform_socket_are_byte_identical(self):
+        clean = self._platform_run(None)
+        zeroed = self._platform_run(FaultPlan.zero())
+        buf_a, buf_b = io.StringIO(), io.StringIO()
+        trace_to_jsonl(clean.socket(0), buf_a)
+        trace_to_jsonl(zeroed.socket(0), buf_b)
+        assert buf_a.getvalue() == buf_b.getvalue()
+        assert clean.execution_time_s == zeroed.execution_time_s
+        assert zeroed.fault_events == []
+
+
 class TestMeterFaultSemantics:
     def _meter(self, plan):
         from repro.hardware.processor import SimulatedProcessor

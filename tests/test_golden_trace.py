@@ -16,11 +16,14 @@ import pathlib
 import sys
 
 GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_dufp_trace.jsonl"
+GOLDEN_POWERSAVE = (
+    pathlib.Path(__file__).parent / "data" / "golden_powersave_trace.jsonl"
+)
 
-# The regeneration script owns the pinned scenario; import it so the
+# The regeneration script owns the pinned scenarios; import it so the
 # test and the regenerator can never drift apart.
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "scripts"))
-from regen_golden_trace import golden_run  # noqa: E402
+from regen_golden_trace import golden_powersave_run, golden_run  # noqa: E402
 
 from repro.sim.export import write_trace_jsonl  # noqa: E402
 
@@ -57,3 +60,31 @@ def test_golden_samples_are_well_formed():
         else:
             assert record["socket_id"] == 0
             assert record["time_s"] > 0
+
+
+def test_golden_powersave_trace_is_byte_identical(tmp_path):
+    """The powersave-governor platform run, byte for byte.
+
+    This one locks down the new platform layers at once: the
+    governor's PERF_CTL actuation, the EPP-biased operating point, the
+    C-state idle-power path, phase idleness plumbing, and the
+    ``cstate_rollover`` fault channel's draw order and event encoding.
+    """
+    fresh = tmp_path / "fresh.jsonl"
+    write_trace_jsonl(golden_powersave_run(), str(fresh))
+    assert fresh.read_bytes() == GOLDEN_POWERSAVE.read_bytes(), (
+        "powersave-governor platform trace diverged from the golden "
+        "reference; if intentional, regenerate with "
+        "scripts/regen_golden_trace.py"
+    )
+
+
+def test_golden_powersave_trace_shape():
+    lines = GOLDEN_POWERSAVE.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    events = [r for r in records if "event" in r]
+    samples = [r for r in records if "event" not in r]
+    assert {e["event"] for e in events} == {"cstate_rollover"}
+    # The EPP-192 hint pins powersave well below the 2.8 GHz ceiling.
+    assert samples, "the pinned scenario records trace samples"
+    assert all(s["core_freq_hz"] < 2.0e9 for s in samples)

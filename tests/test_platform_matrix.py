@@ -1,0 +1,380 @@
+"""Differential scenario-grid suite over the platform models.
+
+The headline test of the platform-model layer: every registered
+frequency policy x workload x platform configuration (C-states on/off,
+EPP bias levels, 1/2/4 uncore dies) runs through the scalar AND the
+batch engine, asserting in every cell:
+
+* **scalar == batch** — ``run_batch`` must route platform-model
+  engines to whatever path reproduces the scalar run trace-for-trace
+  (multi-die / C-state / EPB engines take the transparent scalar
+  fallback; the routing is asserted, not assumed);
+* **determinism** — the same cell twice is the same signature;
+* **digest stability** — the new config fields are
+  ``digest_omit_default``: an all-defaults socket canonicalises
+  without them, so every pre-PR cache address survives, while any
+  non-default platform value lands in the digest;
+* **legacy byte-identity** — a ``die_count=1`` socket builds the
+  plain single-domain uncore and an all-defaults platform run is
+  bit-for-bit the pre-platform-model run;
+* **physical orderings** — powersave draws no more average power and
+  never finishes earlier than performance; the C-state model strictly
+  cuts power on idle-heavy work and is an exact no-op on idle-free
+  work; a power-leaning EPP hint never raises the uncore clock.
+
+The full grid is tier-2 (``-m slow``); a pinned sub-grid keeps every
+assertion in tier-1.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    ControllerConfig,
+    CStateConfig,
+    EPBConfig,
+    NoiseConfig,
+    SocketConfig,
+    canonical_value,
+    config_digest,
+)
+from repro.core.registry import as_spec
+from repro.hardware.topology import MachineConfig
+from repro.hardware.uncore import TpmiUncore, UncoreDriver
+from repro.sim.batch import (
+    batch_fallback_reason,
+    controller_lane_fallback_reason,
+    run_batch,
+)
+from repro.sim.machine import SimulatedMachine
+from repro.sim.run import build_engine
+from repro.workloads.catalog import build_application
+
+QUIET = NoiseConfig(duration_jitter=0.0, counter_noise=0.0, power_noise=0.0)
+CFG = ControllerConfig(tolerated_slowdown=0.10)
+
+#: The platform axis of the grid.
+PLATFORMS = {
+    "default": SocketConfig(),
+    "cstates": replace(SocketConfig(), cstates=CStateConfig()),
+    "epp-perf": replace(SocketConfig(), epb=EPBConfig(epp=0, epb=0)),
+    "epp-power": replace(SocketConfig(), epb=EPBConfig(epp=255, epb=15)),
+    "dies-2": replace(
+        SocketConfig(),
+        uncore=replace(SocketConfig().uncore, die_count=2),
+    ),
+    "dies-4": replace(
+        SocketConfig(),
+        uncore=replace(SocketConfig().uncore, die_count=4),
+    ),
+}
+
+#: The policy axis: the paper's controllers plus the governor baselines.
+POLICIES = (
+    "default",
+    "dufp",
+    "governor-performance",
+    "governor-powersave",
+    "governor-ondemand",
+    "governor-schedutil",
+)
+
+#: Compute-saturated and memory-heavy representatives.
+APPS = ("EP", "CG")
+
+
+def _machine(socket):
+    return SimulatedMachine(MachineConfig(socket=socket, socket_count=1))
+
+
+def _idle_app(app, scale, socket=None, idleness=0.3):
+    base = build_application(app, scale=scale, socket=socket)
+    phases = tuple(replace(p, idleness=idleness) for p in base.phases)
+    return type(base)(
+        name=base.name, phases=phases, structure=base.structure
+    )
+
+
+def _build(policy, app, socket, seed=5, scale=0.06, idleness=0.0):
+    if idleness > 0.0:
+        application = _idle_app(app, scale, socket=socket, idleness=idleness)
+    else:
+        application = build_application(app, scale=scale, socket=socket)
+    return build_engine(
+        application,
+        as_spec(policy).build(CFG),
+        controller_cfg=CFG,
+        machine=_machine(socket),
+        noise=QUIET,
+        seed=seed,
+    )
+
+
+def _signature(result):
+    return (
+        result.app_name,
+        result.controller_name,
+        tuple(
+            (e.time_s, e.socket_id, e.channel, e.detail)
+            for e in result.fault_events
+        ),
+        tuple(
+            (
+                s.socket_id,
+                s.finish_time_s,
+                s.package_energy_j,
+                s.dram_energy_j,
+                tuple(
+                    (
+                        t.time_s,
+                        t.core_freq_hz,
+                        t.uncore_freq_hz,
+                        t.cap_w,
+                        t.package_power_w,
+                    )
+                    for t in s.trace
+                ),
+            )
+            for s in result.sockets
+        ),
+    )
+
+
+def _check_cell(policy, app, platform, socket):
+    """One grid cell: scalar == batch, deterministic, well-formed."""
+    scalar = _build(policy, app, socket).run()
+    again = _build(policy, app, socket).run()
+    [batched] = run_batch([_build(policy, app, socket)])
+    sig = _signature(scalar)
+    assert _signature(again) == sig, f"{policy}/{app}/{platform} not deterministic"
+    assert _signature(batched) == sig, f"{policy}/{app}/{platform} scalar != batch"
+    for sock in scalar.sockets:
+        assert math.isfinite(sock.finish_time_s) and sock.finish_time_s > 0
+        assert math.isfinite(sock.package_energy_j) and sock.package_energy_j > 0
+    return scalar
+
+
+# ---------------------------------------------------------------------------
+# The grid
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+@pytest.mark.parametrize("policy", POLICIES)
+def test_grid_cell_scalar_equals_batch(policy, platform):
+    """Full grid: every policy x app x platform, both engines."""
+    for app in APPS:
+        _check_cell(policy, app, platform, PLATFORMS[platform])
+
+
+def test_grid_smoke_scalar_equals_batch():
+    """Tier-1 sub-grid: one policy per family x every platform."""
+    for policy in ("default", "dufp", "governor-powersave"):
+        for platform in ("default", "cstates", "epp-power", "dies-2"):
+            _check_cell(policy, "CG", platform, PLATFORMS[platform])
+
+
+def test_platform_engines_take_the_scalar_route_in_batches():
+    """The batch router names a reason for every platform model."""
+    cases = {
+        "dies-2": "multi-die uncore",
+        "dies-4": "multi-die uncore",
+        "cstates": "C-state residency",
+        "epp-power": "EPB/EPP hint",
+    }
+    for platform, needle in cases.items():
+        engine = _build("dufp", "EP", PLATFORMS[platform])
+        reason = batch_fallback_reason(engine)
+        assert reason is not None and needle in reason, (platform, reason)
+    # The default platform keeps the vector path end to end.
+    clean = _build("dufp", "EP", PLATFORMS["default"])
+    assert batch_fallback_reason(clean) is None
+    assert controller_lane_fallback_reason(clean) is None
+
+
+# ---------------------------------------------------------------------------
+# Digest stability
+# ---------------------------------------------------------------------------
+
+
+def test_default_socket_canonical_form_omits_platform_fields():
+    """All-defaults sockets canonicalise without the new fields.
+
+    This is what keeps every pre-PR cache address and frozen digest
+    alive: a config that never opted into the platform models hashes
+    as if the fields did not exist.
+    """
+    canon = canonical_value(SocketConfig())
+    assert "cstates" not in canon
+    assert "epb" not in canon
+    assert "die_count" not in canon["uncore"]
+    assert "die_traffic_spread" not in canon["uncore"]
+
+
+def test_non_default_platform_fields_land_in_the_digest():
+    base = config_digest(SocketConfig())
+    assert config_digest(PLATFORMS["dies-2"]) != base
+    assert config_digest(PLATFORMS["cstates"]) != base
+    assert config_digest(PLATFORMS["epp-power"]) != base
+    # Explicitly writing the defaults is the same address as omitting
+    # them (digest_omit_default, not field presence).
+    explicit = replace(
+        SocketConfig(),
+        uncore=replace(SocketConfig().uncore, die_count=1),
+    )
+    assert config_digest(explicit) == base
+
+
+def test_platform_sweep_cells_have_stable_distinct_digests():
+    from repro.experiments.executor import spec_key
+    from repro.experiments.sweep import sweep_specs
+
+    keys = {}
+    for platform in ("default", "dies-2", "epp-power"):
+        specs, _ = sweep_specs(
+            apps=("CG",),
+            tolerances_pct=(10.0,),
+            runs=1,
+            controllers=("governor-powersave",),
+            socket=(
+                None if platform == "default" else PLATFORMS[platform]
+            ),
+        )
+        keys[platform] = tuple(spec_key(s) for s in specs)
+        # Stable: rebuilding the same grid readdresses identically.
+        specs2, _ = sweep_specs(
+            apps=("CG",),
+            tolerances_pct=(10.0,),
+            runs=1,
+            controllers=("governor-powersave",),
+            socket=(
+                None if platform == "default" else PLATFORMS[platform]
+            ),
+        )
+        assert tuple(spec_key(s) for s in specs2) == keys[platform]
+    assert len(set(keys.values())) == 3, "platforms must not share addresses"
+
+
+# ---------------------------------------------------------------------------
+# Legacy byte-identity
+# ---------------------------------------------------------------------------
+
+
+def test_one_die_socket_builds_the_legacy_uncore():
+    machine = _machine(SocketConfig())
+    uncore = machine.processors[0].uncore
+    assert type(uncore) is UncoreDriver
+    assert not isinstance(uncore, TpmiUncore)
+    multi = _machine(PLATFORMS["dies-2"]).processors[0].uncore
+    assert isinstance(multi, TpmiUncore)
+    assert len(multi.dies) == 2
+
+
+def test_all_defaults_run_is_bit_identical_to_legacy_path():
+    """An explicit all-defaults machine equals the implicit one."""
+    explicit = _build("dufp", "CG", SocketConfig()).run()
+    implicit = build_engine(
+        build_application("CG", scale=0.06),
+        as_spec("dufp").build(CFG),
+        controller_cfg=CFG,
+        noise=QUIET,
+        seed=5,
+    ).run()
+    assert _signature(explicit) == _signature(implicit)
+
+
+def test_cstates_model_is_exact_noop_on_idle_free_work():
+    """With zero idleness the C-state model is bitwise invisible.
+
+    ``idle_scale`` resolves to exactly 1.0 and the core-power scale
+    ``a0 * 1.0 + ...`` is IEEE-exact, so enabling the model on
+    idle-free work must not move a single bit of the trace.
+    """
+    plain = _build("default", "EP", SocketConfig()).run()
+    modelled = _build("default", "EP", PLATFORMS["cstates"]).run()
+    assert _signature(modelled) == _signature(plain)
+
+
+# ---------------------------------------------------------------------------
+# Physical orderings
+# ---------------------------------------------------------------------------
+
+
+def _metrics(result):
+    sock = result.sockets[0]
+    time_s = sock.finish_time_s
+    energy = sock.package_energy_j + sock.dram_energy_j
+    return time_s, energy / time_s, energy
+
+
+def test_powersave_orders_against_performance():
+    """Powersave never draws more power nor finishes earlier."""
+    for app in APPS:
+        t_perf, p_perf, _ = _metrics(
+            _build("governor-performance", app, SocketConfig()).run()
+        )
+        t_save, p_save, _ = _metrics(
+            _build("governor-powersave", app, SocketConfig()).run()
+        )
+        assert p_save <= p_perf * (1 + 1e-9), app
+        assert t_save >= t_perf * (1 - 1e-9), app
+
+
+def test_governors_are_distinct_on_memory_heavy_work():
+    """The four baselines land on four different (time, energy) points."""
+    outcomes = {
+        policy: _metrics(_build(policy, "CG", SocketConfig()).run())[::2]
+        for policy in POLICIES[2:]
+    }
+    assert len(set(outcomes.values())) == len(outcomes), outcomes
+
+
+def test_cstates_cut_power_on_idle_heavy_work():
+    """At equal clocks, C-state residency strictly lowers avg power."""
+    t_off, p_off, _ = _metrics(
+        _build("default", "CG", SocketConfig(), idleness=0.3).run()
+    )
+    t_on, p_on, _ = _metrics(
+        _build("default", "CG", PLATFORMS["cstates"], idleness=0.3).run()
+    )
+    assert p_on < p_off
+    # Wakeup exit latencies only ever stretch the run.
+    assert t_on >= t_off * (1 - 1e-9)
+
+
+def test_epp_bias_never_raises_the_uncore_clock():
+    """A power-leaning hint shrinks the uncore window monotonically."""
+
+    def avg_uncore_hz(socket):
+        result = _build("default", "CG", socket).run()
+        trace = result.sockets[0].trace
+        return sum(t.uncore_freq_hz for t in trace) / len(trace)
+
+    plain = avg_uncore_hz(SocketConfig())
+    perf_hint = avg_uncore_hz(PLATFORMS["epp-perf"])
+    power_hint = avg_uncore_hz(PLATFORMS["epp-power"])
+    assert power_hint <= perf_hint <= plain * (1 + 1e-9)
+    assert power_hint < plain
+
+
+def test_multi_die_uncore_aggregates_and_stays_bounded():
+    """Per-die clocks stay in the window; the package clock is their mean."""
+    bounds = SocketConfig().uncore
+    for platform in ("dies-2", "dies-4"):
+        engine = _build("default", "CG", PLATFORMS[platform])
+        result = engine.run()
+        uncore = engine.machine.processors[0].uncore
+        assert isinstance(uncore, TpmiUncore)
+        freqs = uncore.die_frequencies
+        assert len(freqs) == PLATFORMS[platform].uncore.die_count
+        for f in freqs:
+            assert bounds.min_freq_hz <= f <= bounds.max_freq_hz
+        for t in result.sockets[0].trace:
+            assert (
+                bounds.min_freq_hz
+                <= t.uncore_freq_hz
+                <= bounds.max_freq_hz
+            )

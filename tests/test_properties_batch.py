@@ -256,6 +256,38 @@ def test_lane_fallback_reasons():
     assert reason is not None and "RAPL minimum" in reason
 
 
+def test_multi_die_lane_fallback_reason_is_pinned():
+    """Multi-die uncore configs report their own named lane reason.
+
+    The lane kernels model exactly one uncore clock per lane, so a
+    ``die_count > 1`` socket must take the scatter/gather path — and
+    say so distinctly (not hide behind the generic "no vector tick
+    form" or fault-plan reasons).
+    """
+    from dataclasses import replace
+
+    from repro.hardware.topology import MachineConfig
+    from repro.sim.machine import SimulatedMachine
+
+    for dies in (2, 4):
+        sock = SocketConfig()
+        sock = replace(sock, uncore=replace(sock.uncore, die_count=dies))
+        cfg = ControllerConfig(tolerated_slowdown=0.05)
+        engine = build_engine(
+            build_application("EP", scale=0.06, socket=sock),
+            as_spec("dufp").build(cfg),
+            controller_cfg=cfg,
+            machine=SimulatedMachine(MachineConfig(socket=sock, socket_count=1)),
+            noise=QUIET,
+            seed=1,
+        )
+        reason = controller_lane_fallback_reason(engine)
+        assert reason == (
+            f"multi-die uncore ({dies} dies): "
+            "lane kernels model one uncore clock per lane"
+        )
+
+
 def test_scalar_batch_trace_equality_deterministic():
     """Tier-1 pin: noisy scalar and batch runs agree trace for trace.
 
