@@ -44,6 +44,12 @@ CONTROLLER_CLASSES = frozenset(
         "StaticSplit",
         "CoordinatedSplit",
         "FairShareSplit",
+        # Fleet partitioning strategies (selected via fleet_policy()).
+        # The abstract FleetPolicy marker stays importable, like the
+        # Controller protocol and SplitPolicy.
+        "StaticFleet",
+        "DemandFleet",
+        "FairShareFleet",
     }
 )
 

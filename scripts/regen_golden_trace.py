@@ -103,7 +103,46 @@ def golden_powersave_run():
     )
 
 
+#: The cluster scenario: two nodes (latency-sensitive WEB + streaming
+#: BATCH) under a demand-driven fleet partition of a 150 W global
+#: budget that genuinely caps (ceilings sum to 250 W), with a fault
+#: plan exercising the per-node event id-shifting.  Pins the fleet
+#: loop's allocation cadence, the node seed stride, the shared-sink
+#: global socket ids and the streamed sample/event encodings at once.
+CLUSTER_SEED = 20220530
+CLUSTER_BUDGET_W = 150.0
+CLUSTER_PLAN = FaultPlan(msr_read_fail_rate=0.05, cap_latch_fail_rate=0.10)
+
+
+def golden_cluster_run(sink=None):
+    """The cluster run whose streamed trace is pinned."""
+    from repro.cluster import ClusterEngine, ClusterSpec
+    from repro.core.registry import fleet_policy, make_spec
+
+    cluster = ClusterSpec(
+        node_count=2, node_apps=("WEB", "BATCH"), period_s=0.5
+    )
+    apps = [
+        build_application(cluster.app_for(i, "WEB"), scale=0.3)
+        for i in range(cluster.node_count)
+    ]
+    return ClusterEngine(
+        applications=apps,
+        cluster=cluster,
+        policy=fleet_policy(
+            make_spec("fleet-demand", budget_w=CLUSTER_BUDGET_W), CFG
+        ),
+        controller_cfg=CFG,
+        noise=QUIET,
+        seed=CLUSTER_SEED,
+        trace_sink=sink,
+        faults=CLUSTER_PLAN,
+    ).run()
+
+
 def main() -> None:
+    from repro.sim.trace import StreamingTraceSink
+
     GOLDEN.mkdir(parents=True, exist_ok=True)
     for fname, run in (
         ("golden_dufp_trace.jsonl", golden_run),
@@ -114,6 +153,13 @@ def main() -> None:
         lines = write_trace_jsonl(result, str(path))
         events = sum(1 for e in result.fault_events)
         print(f"wrote {lines} lines ({events} fault events) to {path}")
+    path = GOLDEN / "golden_cluster_trace.jsonl"
+    sink = StreamingTraceSink(path)
+    result = golden_cluster_run(sink)
+    print(
+        f"wrote {sink.rows} lines ({len(result.fault_events)} fault "
+        f"events) to {path}"
+    )
 
 
 if __name__ == "__main__":

@@ -241,6 +241,18 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="GPU kernel-queue length for --gpus sweeps (default 8)",
             )
+            p.add_argument(
+                "--nodes",
+                type=int,
+                default=0,
+                metavar="N",
+                help=(
+                    "run every grid cell as an N-node cluster under "
+                    "fleet partitioning controllers (default "
+                    "controllers: fleet-demand fleet-fair; see "
+                    "docs/CLUSTER.md)"
+                ),
+            )
             _add_platform_args(p)
 
     p_list = sub.add_parser("list", help="list applications and experiments")
@@ -300,6 +312,76 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "hetero budget-split policy, 'name' or 'name:key=val,...' "
             "(repeatable; default: compare hetero-static vs hetero-coord "
+            "at --budget)"
+        ),
+    )
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="multi-node fleet power-capping demo (one global budget)",
+    )
+    p_cluster.add_argument(
+        "--nodes", type=int, default=2, metavar="N", help="node count (default 2)"
+    )
+    p_cluster.add_argument(
+        "--budget",
+        type=float,
+        default=200.0,
+        help="global fleet power budget, watts (default 200)",
+    )
+    p_cluster.add_argument(
+        "--apps",
+        nargs="*",
+        default=None,
+        metavar="APP",
+        help=(
+            "applications cycled over the nodes (default: WEB BATCH — "
+            "co-located latency-sensitive + batch traffic)"
+        ),
+    )
+    p_cluster.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="application problem-size scale (default 0.5)",
+    )
+    p_cluster.add_argument(
+        "--slowdown",
+        type=float,
+        default=10.0,
+        help="node-controller tolerated slowdown, percent (default 10)",
+    )
+    p_cluster.add_argument(
+        "--node-controller",
+        default="dufp",
+        metavar="POLICY",
+        help="per-socket controller stack each node runs (default dufp)",
+    )
+    p_cluster.add_argument(
+        "--period",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="fleet re-allocation period, simulated seconds (default 1)",
+    )
+    p_cluster.add_argument(
+        "--sockets",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sockets per node (default 1)",
+    )
+    p_cluster.add_argument(
+        "--seed", type=int, default=0, help="run seed (jitter + faults)"
+    )
+    p_cluster.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "fleet partitioning policy, 'name' or 'name:key=val,...' "
+            "(repeatable; default: compare fleet-static vs fleet-demand "
             "at --budget)"
         ),
     )
@@ -413,11 +495,19 @@ def _run_sweep(args: argparse.Namespace) -> str:
     from .experiments.sweep import SWEEP_TOLERANCES_PCT, run_sweep
 
     gpu = None
+    cluster = None
+    if args.gpus > 0 and args.nodes > 0:
+        raise ReproError("--gpus and --nodes are mutually exclusive")
     if args.gpus > 0:
         from .hardware.gpu import GPUNodeConfig
 
         gpu = GPUNodeConfig(gpu_count=args.gpus, kernel_count=args.kernels)
         default_controllers = ("hetero-coord", "hetero-fair")
+    elif args.nodes > 0:
+        from .cluster.spec import ClusterSpec
+
+        cluster = ClusterSpec(node_count=args.nodes)
+        default_controllers = ("fleet-demand", "fleet-fair")
     else:
         default_controllers = ("duf", "dufp")
     controllers = (
@@ -432,6 +522,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         faults=parse_fault_plan(args.faults) if args.faults else None,
         engine=args.engine,
         gpu=gpu,
+        cluster=cluster,
         socket=_platform_socket(args),
         workers=args.workers,
         cache=args.cache,
@@ -475,6 +566,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {len(manifest.files)} files to {manifest.out_dir}/")
         elif args.command == "hetero":
             print(_run_hetero(args))
+        elif args.command == "cluster":
+            print(_run_cluster(args))
         elif args.command == "sweep":
             print(_run_sweep(args))
         else:
@@ -548,6 +641,80 @@ def _run_hetero(args: argparse.Namespace) -> str:
             f"cpu_energy_j={result.cpu_energy_j:.1f} "
             f"gpu_energy_j={result.gpu_energy_j:.1f} "
             f"transfer_s={result.transfer_s:.4f}"
+        )
+    return "\n".join(lines + summaries)
+
+
+def _run_cluster(args: argparse.Namespace) -> str:
+    from .cluster import ClusterEngine, ClusterSpec
+    from .core.registry import fleet_policy
+
+    cfg = ControllerConfig(tolerated_slowdown=args.slowdown / 100.0)
+    app_names = tuple(
+        a.upper() for a in (args.apps if args.apps else ("WEB", "BATCH"))
+    )
+    cluster = ClusterSpec(
+        node_count=args.nodes,
+        node_apps=app_names,
+        node_controller=args.node_controller,
+        sockets_per_node=args.sockets,
+        period_s=args.period,
+    )
+    cluster.validate()
+    apps = [
+        build_application(cluster.app_for(i, app_names[0]), scale=args.scale)
+        for i in range(args.nodes)
+    ]
+    if args.policy:
+        policies = [parse_policy(p) for p in args.policy]
+        display = {p.label: p.label for p in policies}
+    else:
+        # The classic demo: the never-revisited equal split vs the
+        # demand-driven water-filling partition, both at --budget.
+        policies = [
+            make_spec("fleet-static", budget_w=args.budget),
+            make_spec("fleet-demand", budget_w=args.budget),
+        ]
+        display = {
+            policies[0].label: "static equal share",
+            policies[1].label: "demand-driven",
+        }
+    lines = [
+        f"fleet budget {args.budget:.0f} W over {args.nodes} node(s) x "
+        f"{args.sockets} socket(s), tolerance {args.slowdown:.0f} %, "
+        f"period {args.period:g} s, apps {'+'.join(dict.fromkeys(app_names))} "
+        f"x{args.scale:g}"
+    ]
+    summaries = []
+    for spec in policies:
+        fleet = fleet_policy(spec, cfg)
+        result = ClusterEngine(
+            applications=apps,
+            cluster=cluster,
+            policy=fleet,
+            controller_cfg=cfg,
+            seed=args.seed,
+        ).run()
+        _, alloc = result.allocations[-1]
+        label = display[spec.label]
+        makespans = " ".join(f"{m:6.2f}" for m in result.node_makespans_s)
+        lines.append(
+            f"  {label:20s} nodes [{makespans}] s  "
+            f"jain {result.fairness_index:.3f}  "
+            f"p99 slowdown {result.p99_slowdown:.3f}"
+        )
+        summaries.append(
+            "CLUSTER "
+            f"app={'+'.join(dict.fromkeys(a.name for a in apps))} "
+            f"nodes={args.nodes} sockets={args.sockets} "
+            f"scale={args.scale:g} seed={args.seed} "
+            f"policy={spec.label} budget_w={fleet.budget_w:g} "
+            f"makespan_s={result.makespan_s:.4f} "
+            f"energy_j={result.total_energy_j:.1f} "
+            f"jain={result.fairness_index:.4f} "
+            f"p99_slowdown={result.p99_slowdown:.4f} "
+            f"allocs={len(result.allocations)} "
+            f"last_alloc_w={'/'.join(f'{a:.0f}' for a in alloc)}"
         )
     return "\n".join(lines + summaries)
 

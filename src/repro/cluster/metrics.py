@@ -1,0 +1,70 @@
+"""Fairness and tail metrics over per-node outcomes.
+
+Capping a fleet trades energy against *whose* jobs slow down.  The
+metrics here make that trade measurable alongside energy: Jain's
+fairness index over per-node slowdown ratios (1.0 = perfectly even
+throttling, → 1/n = one node absorbs everything) and a deterministic
+linear-interpolation percentile for tail slowdown (the p99 makespan
+ratio the cluster harness reports for co-located latency-sensitive +
+batch traffic).  Pure functions over plain floats — no numpy, no
+randomness — so golden traces and property tests pin them exactly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+
+__all__ = ["jain_index", "percentile", "slowdown_ratios"]
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
+
+    1.0 when every value is equal, approaching ``1/n`` as one value
+    dominates.  All-zero inputs are perfectly even and return 1.0.
+    """
+    if not values:
+        raise ExperimentError("fairness index needs at least one value")
+    if any(v < 0 for v in values):
+        raise ExperimentError("fairness index needs non-negative values")
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile by sorted linear interpolation.
+
+    Matches numpy's default (``linear``) method without importing
+    numpy: rank ``(n-1)·q/100`` interpolated between the two nearest
+    order statistics.  Deterministic and exact for the golden traces.
+    """
+    if not values:
+        raise ExperimentError("percentile needs at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def slowdown_ratios(
+    makespans_s: list[float], nominal_s: list[float]
+) -> list[float]:
+    """Per-node slowdown: measured makespan over nominal duration.
+
+    1.0 means the node ran at its uncapped nominal speed; 1.25 means
+    the fleet cap (or the node controller beneath it) cost 25 %.
+    """
+    if len(makespans_s) != len(nominal_s):
+        raise ExperimentError(
+            f"{len(makespans_s)} makespans for {len(nominal_s)} nominals"
+        )
+    if any(n <= 0 for n in nominal_s):
+        raise ExperimentError("nominal durations must be positive")
+    return [m / n for m, n in zip(makespans_s, nominal_s)]

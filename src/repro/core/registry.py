@@ -59,6 +59,7 @@ from .budget import NodeBudgetCoordinator
 from .duf import DUF
 from .dufp import DUFP
 from .extensions import DUFPF, AdaptiveIntervalDUFP
+from .fleet import DemandFleet, FairShareFleet, FleetPolicy, StaticFleet
 from .governors import (
     OndemandFreqGovernor,
     PerformanceFreqGovernor,
@@ -81,6 +82,7 @@ __all__ = [
     "describe_policies",
     "vector_tick_form",
     "split_policy",
+    "fleet_policy",
 ]
 
 #: Per-socket controller factory, as consumed by the simulation layer.
@@ -131,6 +133,11 @@ class PolicyInfo:
     #: CPU+GPU engine instead of a per-socket controller factory, and
     #: the run spec must carry a GPU node config.
     hetero: bool = False
+    #: True for fleet budget-partitioning policies: ``build(cfg)``
+    #: returns a :class:`~repro.core.fleet.FleetPolicy` for the
+    #: cluster engine instead of a per-socket controller factory, and
+    #: the run spec must carry a cluster spec.
+    fleet: bool = False
 
     @property
     def defaults(self):
@@ -152,13 +159,15 @@ def register_policy(
     paper_section: str = "",
     summary: str = "",
     hetero: bool = False,
+    fleet: bool = False,
 ):
     """Class decorator registering a parameter dataclass as a policy.
 
     The decorated class must be a frozen dataclass exposing
     ``build(cfg: ControllerConfig) -> Callable[[], Controller]`` — or,
     for ``hetero=True`` budget-split policies, ``build(cfg) ->
-    SplitPolicy``.
+    SplitPolicy``, or, for ``fleet=True`` cluster policies,
+    ``build(cfg) -> FleetPolicy``.
     """
 
     def decorate(param_cls: type) -> type:
@@ -175,6 +184,7 @@ def register_policy(
             summary=summary or (param_cls.__doc__ or "").strip().splitlines()[0],
             param_cls=param_cls,
             hetero=hetero,
+            fleet=fleet,
         )
         return param_cls
 
@@ -347,6 +357,33 @@ def split_policy(
     return built
 
 
+def fleet_policy(
+    policy: "PolicySpec | str", cfg: ControllerConfig | None = None
+) -> FleetPolicy:
+    """Resolve a fleet budget-partitioning selection to a fresh policy.
+
+    The cluster counterpart of :func:`controller_factory` and
+    :func:`split_policy`: only valid for registry entries flagged
+    ``fleet=True``, whose ``build(cfg)`` returns a
+    :class:`~repro.core.fleet.FleetPolicy` rather than a per-socket
+    controller factory.
+    """
+    spec = as_spec(policy)
+    if not spec.info.fleet:
+        raise PolicyError(
+            f"policy {spec.name!r} is not a fleet budget-partitioning "
+            "policy; pick one of: "
+            + ", ".join(n for n in policy_names() if policy_info(n).fleet)
+        )
+    built = spec.build(cfg or ControllerConfig())
+    if not isinstance(built, FleetPolicy):
+        raise PolicyError(
+            f"fleet policy {spec.name!r} built {type(built).__name__}, "
+            "expected a FleetPolicy"
+        )
+    return built
+
+
 def describe_policies() -> str:
     """The ``repro policies`` listing, one block per registered policy."""
     lines: list[str] = []
@@ -354,7 +391,10 @@ def describe_policies() -> str:
         info = policy_info(name)
         section = f"  [{info.paper_section}]" if info.paper_section else ""
         hetero_tag = "  (hetero split)" if info.hetero else ""
-        lines.append(f"{name:14s} {info.display_name}{section}{hetero_tag}")
+        fleet_tag = "  (fleet split)" if info.fleet else ""
+        lines.append(
+            f"{name:14s} {info.display_name}{section}{hetero_tag}{fleet_tag}"
+        )
         lines.append(f"{'':14s}   {info.summary}")
         params = info.param_fields()
         if params:
@@ -738,3 +778,81 @@ class HeteroFairPolicy:
     def build(self, cfg: ControllerConfig) -> SplitPolicy:
         """The fair equal-fraction split policy."""
         return FairShareSplit(self.budget_w)
+
+
+# ---------------------------------------------------------------------------
+# Fleet budget-partitioning policies (paper §VI, ROADMAP item 2): how
+# one global datacenter budget divides across a cluster's nodes.  Their
+# ``build`` returns a FleetPolicy for the cluster engine, not a
+# per-socket controller factory — consumed through fleet_policy(),
+# never directly.
+# ---------------------------------------------------------------------------
+
+
+@register_policy(
+    "fleet-static",
+    display_name="Static equal-share fleet partition",
+    paper_section="VI (baseline)",
+    summary="Equal node shares decided once at t=0, never revisited.",
+    fleet=True,
+)
+@dataclass(frozen=True)
+class FleetStaticPolicy:
+    """Parameters of the equal static fleet partition."""
+
+    #: Global power budget partitioned across all nodes, watts.
+    budget_w: float = 250.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"fleet-static-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> FleetPolicy:
+        """The frozen t=0 equal-share partition."""
+        return StaticFleet(self.budget_w)
+
+
+@register_policy(
+    "fleet-demand",
+    display_name="Demand/offer water-filling fleet partition",
+    paper_section="VI (contribution)",
+    summary="Nodes bid measured power; watts re-partition every period.",
+    fleet=True,
+)
+@dataclass(frozen=True)
+class FleetDemandPolicy:
+    """Parameters of the demand/offer fleet partition."""
+
+    #: Global power budget partitioned across all nodes, watts.
+    budget_w: float = 250.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"fleet-demand-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> FleetPolicy:
+        """The demand/offer water-filling partition."""
+        return DemandFleet(self.budget_w)
+
+
+@register_policy(
+    "fleet-fair",
+    display_name="FastCap-style fair fleet partition",
+    paper_section="VI (related work)",
+    summary="Equal fraction of each node's floor-to-ceiling range.",
+    fleet=True,
+)
+@dataclass(frozen=True)
+class FleetFairPolicy:
+    """Parameters of the FastCap-style fair fleet partition."""
+
+    #: Global power budget partitioned across all nodes, watts.
+    budget_w: float = 250.0
+
+    def label(self) -> str:
+        """Parameter-specialised display label."""
+        return f"fleet-fair-{self.budget_w:.0f}W"
+
+    def build(self, cfg: ControllerConfig) -> FleetPolicy:
+        """The fair equal-fraction partition."""
+        return FairShareFleet(self.budget_w)

@@ -84,6 +84,16 @@ def _fit_budget(
         return alloc
     slack = [a - lo for a, lo in zip(alloc, floors_w)]
     span = sum(slack)
+    if span <= 0.0:
+        # Every device already sits at its floor: the budget cannot
+        # cover the combined floors.  Callers that validated via
+        # _check_devices never reach this; entry points that skip the
+        # check (e.g. initial()) get the same diagnostic instead of a
+        # division by zero.
+        raise ControllerError(
+            f"budget {total_w} W cannot cover the combined device floor "
+            f"{sum(floors_w)} W"
+        )
     scale = max(span - excess, 0.0) / span
     return [lo + s * scale for lo, s in zip(floors_w, slack)]
 

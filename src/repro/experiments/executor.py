@@ -49,6 +49,7 @@ from ..config import (
     SocketConfig,
     config_digest,
 )
+from ..cluster.spec import ClusterSpec
 from ..core.registry import PolicySpec, as_spec, policy_info, policy_names
 from ..errors import ExperimentError
 from ..hardware.gpu import GPUNodeConfig
@@ -132,6 +133,16 @@ class RunSpec:
     gpu: GPUNodeConfig | None = field(
         default=None, metadata={"digest_omit_default": True}
     )
+    #: Node topology of a cluster cell.  ``None`` (the default) keeps
+    #: the spec single-node; a :class:`~repro.cluster.spec.ClusterSpec`
+    #: turns the cell into a fleet-coordinated multi-node simulation
+    #: whose ``controller`` must be a registered fleet partitioning
+    #: policy.  Omitted from the digest while ``None``
+    #: (``digest_omit_default``), so every pre-existing spec keeps its
+    #: exact cache address.
+    cluster: ClusterSpec | None = field(
+        default=None, metadata={"digest_omit_default": True}
+    )
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -142,10 +153,13 @@ class RunSpec:
         # normalise here so the two also share one digest.
         if self.faults is not None and not self.faults.active:
             object.__setattr__(self, "faults", None)
-        # Hetero cells always run the scalar co-simulation loop; the
-        # engine field is display/strategy only (never in the digest),
-        # so normalising keeps mixed --engine batch sweeps working.
-        if self.gpu is not None and self.engine == "batch":
+        # Hetero and cluster cells always run the scalar co-simulation
+        # loop; the engine field is display/strategy only (never in the
+        # digest), so normalising keeps mixed --engine batch sweeps
+        # working.
+        if (self.gpu is not None or self.cluster is not None) and (
+            self.engine == "batch"
+        ):
             object.__setattr__(self, "engine", "scalar")
 
     def validate(self) -> None:
@@ -162,10 +176,10 @@ class RunSpec:
             )
         if self.faults is not None:
             self.faults.validate()
-        hetero = policy_info(self.controller.name).hetero
+        info = policy_info(self.controller.name)
         if self.gpu is not None:
             self.gpu.validate()
-            if not hetero:
+            if not info.hetero:
                 raise ExperimentError(
                     f"hetero spec needs a hetero budget-split controller, "
                     f"got {self.controller.name!r} (see 'repro policies')"
@@ -174,10 +188,32 @@ class RunSpec:
                 raise ExperimentError(
                     "hetero cells model one CPU socket per node"
                 )
-        elif hetero:
+            if self.cluster is not None:
+                raise ExperimentError(
+                    "a cell is either hetero (gpu=...) or a cluster "
+                    "(cluster=...), not both"
+                )
+        elif info.hetero:
             raise ExperimentError(
                 f"controller {self.controller.name!r} splits a CPU+GPU "
                 "budget; the spec needs gpu=GPUNodeConfig(...)"
+            )
+        if self.cluster is not None:
+            self.cluster.validate()
+            if not info.fleet:
+                raise ExperimentError(
+                    f"cluster spec needs a fleet partitioning controller, "
+                    f"got {self.controller.name!r} (see 'repro policies')"
+                )
+            if self.socket_count != 1:
+                raise ExperimentError(
+                    "cluster cells size sockets via "
+                    "ClusterSpec.sockets_per_node; leave socket_count at 1"
+                )
+        elif info.fleet:
+            raise ExperimentError(
+                f"controller {self.controller.name!r} partitions a fleet "
+                "budget; the spec needs cluster=ClusterSpec(...)"
             )
 
     @property
@@ -240,6 +276,29 @@ def execute_spec(spec: RunSpec) -> ProtocolResult:
             socket=spec.socket,
             faults=spec.faults,
         )
+    if spec.cluster is not None:
+        from .protocol import run_cluster_protocol
+
+        apps = [
+            build_application(
+                spec.cluster.app_for(i, spec.app_name),
+                scale=spec.app_scale,
+                socket=spec.socket,
+            )
+            for i in range(spec.cluster.node_count)
+        ]
+        return run_cluster_protocol(
+            apps,
+            spec.controller,
+            spec.cluster,
+            controller_cfg=spec.controller_cfg,
+            runs=spec.runs,
+            base_seed=spec.base_seed,
+            noise=spec.noise,
+            engine_cfg=spec.engine_cfg,
+            socket=spec.socket,
+            faults=spec.faults,
+        )
     return run_protocol(
         app,
         spec.controller,
@@ -270,6 +329,11 @@ def build_spec_protocol(spec: RunSpec):
         raise ExperimentError(
             "hetero cells cannot pool into a lockstep batch; "
             "execute_spec runs them through the co-simulation engine"
+        )
+    if spec.cluster is not None:
+        raise ExperimentError(
+            "cluster cells cannot pool into a lockstep batch; "
+            "execute_spec runs them through the fleet engine"
         )
     app = build_application(
         spec.app_name, scale=spec.app_scale, socket=spec.socket
@@ -350,7 +414,24 @@ def estimate_spec_ticks(spec: RunSpec) -> float:
     weight is ``runs × (1 + gpu_count) × max(cpu ticks, busiest-GPU
     ticks)`` — without this, LPT planning would pack hetero cells as if
     they were bare CPU runs and starve workers in mixed sweeps.
+
+    Cluster cells sum over nodes: the fleet loop steps every socket of
+    every node each tick until the *slowest* node finishes, so the
+    weight is ``runs × Σ_nodes(sockets_per_node × node-app ticks)`` —
+    each node can run a different application, and a 4-node cell
+    really does cost ~4× the matching single-node cell.
     """
+    if spec.cluster is not None:
+        node_ticks = sum(
+            _nominal_ticks(
+                spec.cluster.app_for(i, spec.app_name),
+                spec.app_scale,
+                spec.socket,
+                spec.engine_cfg.dt_s,
+            )
+            for i in range(spec.cluster.node_count)
+        )
+        return spec.runs * spec.cluster.sockets_per_node * node_ticks
     cpu_ticks = _nominal_ticks(
         spec.app_name, spec.app_scale, spec.socket, spec.engine_cfg.dt_s
     )

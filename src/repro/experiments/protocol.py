@@ -40,6 +40,7 @@ __all__ = [
     "fold_protocol",
     "run_protocol",
     "run_hetero_protocol",
+    "run_cluster_protocol",
     "compare",
 ]
 
@@ -294,6 +295,74 @@ def run_hetero_protocol(
         result.times_s.append(makespan)
         result.package_power_w.append(run.cpu_energy_j / makespan)
         result.dram_power_w.append(run.gpu_energy_j / makespan)
+        result.total_energy_j.append(run.total_energy_j)
+    return result
+
+
+def run_cluster_protocol(
+    applications: list[Application],
+    controller: "PolicySpec | str",
+    cluster,
+    *,
+    controller_cfg: ControllerConfig | None = None,
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+    noise: NoiseConfig | None = None,
+    engine_cfg: EngineConfig | None = None,
+    socket: SocketConfig | None = None,
+    trace_sink: TraceSink | None = None,
+    faults: FaultPlan | None = None,
+) -> ProtocolResult:
+    """Execute ``runs`` seeded repetitions of one *cluster* cell.
+
+    The multi-node counterpart of :func:`run_protocol`: ``controller``
+    selects a fleet budget-partitioning policy from the registry
+    (``fleet-static``, ``fleet-demand``, ``fleet-fair``), ``cluster``
+    is the cell's :class:`~repro.cluster.spec.ClusterSpec`, and
+    ``applications`` carries one built application per node.  Each
+    repetition runs the :class:`~repro.cluster.engine.ClusterEngine`
+    with the same per-run seed formula as the scalar protocol
+    (``noise.seed + 1009·r + base_seed``), so cluster cells trim,
+    cache and compare exactly like CPU-only ones.
+
+    Metric mapping onto the :class:`ProtocolResult` columns (documented
+    in docs/CLUSTER.md): ``times_s`` is the fleet *makespan* (slowest
+    node), ``package_power_w`` the fleet's average package power over
+    the makespan, ``dram_power_w`` the fleet's average DRAM power, and
+    ``total_energy_j`` the whole fleet's energy.  ``trace_sink``
+    attaches to the *last* run with cluster-global socket ids
+    (node i, socket s → ``i·sockets_per_node + s``).
+    """
+    from ..cluster.engine import ClusterEngine
+    from ..core.registry import fleet_policy
+
+    if runs < 1:
+        raise ExperimentError("need at least one run")
+    noise = noise or NoiseConfig()
+    cfg = controller_cfg or ControllerConfig()
+    engine_cfg = engine_cfg or EngineConfig()
+    spec = as_spec(controller)
+    app_name = "+".join(dict.fromkeys(a.name for a in applications))
+    result = ProtocolResult(app_name=app_name, controller_name=spec.label)
+    for r in range(runs):
+        engine = ClusterEngine(
+            applications=applications,
+            cluster=cluster,
+            policy=fleet_policy(spec, cfg),
+            controller_cfg=cfg,
+            engine_cfg=engine_cfg,
+            noise=noise,
+            socket=socket,
+            seed=noise.seed + 1009 * r + base_seed,
+            record_trace=False,
+            trace_sink=trace_sink if r == runs - 1 else None,
+            faults=faults,
+        )
+        run = engine.run()
+        makespan = run.makespan_s or engine_cfg.dt_s
+        result.times_s.append(makespan)
+        result.package_power_w.append(run.package_energy_j / makespan)
+        result.dram_power_w.append(run.dram_energy_j / makespan)
         result.total_energy_j.append(run.total_energy_j)
     return result
 

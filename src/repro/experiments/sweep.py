@@ -27,6 +27,7 @@ from ..config import (
     with_slowdown,
 )
 from ..analysis.tables import format_table
+from ..cluster.spec import ClusterSpec
 from ..core.registry import PolicySpec, as_spec, make_spec
 from ..errors import ExperimentError
 from ..hardware.gpu import GPUNodeConfig
@@ -118,6 +119,7 @@ def sweep_specs(
     faults: FaultPlan | None = None,
     engine: str = "scalar",
     gpu: GPUNodeConfig | None = None,
+    cluster: ClusterSpec | None = None,
     socket: SocketConfig | None = None,
 ) -> tuple[list[RunSpec], list[tuple[str, str, float] | None]]:
     """The sweep grid as executable specs.
@@ -156,6 +158,13 @@ def sweep_specs(
     operator configuration — a ``hetero-static`` 50/50 split at the
     first controller's budget — instead of the CPU ``default`` cell,
     so "savings" read as gains over the uncoordinated split.
+
+    ``cluster`` turns the grid multi-node: every cell carries the
+    :class:`~repro.cluster.spec.ClusterSpec` and its ``controllers``
+    must be registered fleet partitioning policies (``fleet-demand``,
+    ``fleet-fair``, ...).  The per-app baseline becomes a
+    ``fleet-static`` equal-share partition at the first controller's
+    budget, so "savings" read as gains over the never-revisited split.
     """
     app_list = tuple(a.upper() for a in (apps or application_names()))
     tol_list = tuple(float(t) for t in tolerances_pct)
@@ -163,6 +172,11 @@ def sweep_specs(
     labels = [c.label for c in ctrl_list]
     if len(set(labels)) != len(labels):
         raise ExperimentError(f"duplicate sweep controllers: {labels}")
+    if gpu is not None and cluster is not None:
+        raise ExperimentError(
+            "a sweep is either hetero (gpu=...) or a cluster "
+            "(cluster=...), not both"
+        )
     if gpu is not None:
         non_hetero = [c.name for c in ctrl_list if not c.info.hetero]
         if non_hetero:
@@ -172,6 +186,16 @@ def sweep_specs(
             )
         baseline: PolicySpec = make_spec(
             "hetero-static", budget_w=ctrl_list[0].params.budget_w
+        )
+    elif cluster is not None:
+        non_fleet = [c.name for c in ctrl_list if not c.info.fleet]
+        if non_fleet:
+            raise ExperimentError(
+                f"cluster sweep needs fleet partitioning controllers; "
+                f"{non_fleet} are per-socket policies"
+            )
+        baseline = make_spec(
+            "fleet-static", budget_w=ctrl_list[0].params.budget_w
         )
     else:
         baseline = as_spec("default")
@@ -195,6 +219,7 @@ def sweep_specs(
                 faults=faults,
                 engine=engine,
                 gpu=gpu,
+                cluster=cluster,
                 socket=socket,
                 label=f"{app_name}/{baseline.label}",
             )
@@ -216,6 +241,7 @@ def sweep_specs(
                         faults=faults,
                         engine=engine,
                         gpu=gpu,
+                        cluster=cluster,
                         socket=socket,
                         label=f"{app_name}/{ctrl.label}@{tol:.0f}%",
                     )
@@ -237,6 +263,7 @@ def run_sweep(
     faults: FaultPlan | None = None,
     engine: str = "scalar",
     gpu: GPUNodeConfig | None = None,
+    cluster: ClusterSpec | None = None,
     socket: SocketConfig | None = None,
     workers: int = 1,
     cache: ResultCache | str | None = None,
@@ -258,7 +285,9 @@ def run_sweep(
     shard (see :func:`repro.experiments.executor.plan_shards`).
 
     ``gpu`` runs the whole grid as CPU+GPU co-simulation cells under
-    hetero budget-split controllers; see :func:`sweep_specs`.
+    hetero budget-split controllers; ``cluster`` runs it as multi-node
+    fleet cells under fleet partitioning policies; see
+    :func:`sweep_specs`.
     """
     specs, cells = sweep_specs(
         apps=apps,
@@ -272,6 +301,7 @@ def run_sweep(
         faults=faults,
         engine=engine,
         gpu=gpu,
+        cluster=cluster,
         socket=socket,
     )
     app_list = tuple(a.upper() for a in (apps or application_names()))

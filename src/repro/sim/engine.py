@@ -30,7 +30,7 @@ from .machine import SimulatedMachine
 from .result import PhaseSpan, RunResult, SocketResult, TraceSample
 from .trace import InMemoryTraceSink, TraceSink
 
-__all__ = ["SimulationEngine", "RunContext"]
+__all__ = ["SimulationEngine", "SimulationStepper", "RunContext"]
 
 #: Completion tolerance on a phase's progress fraction.
 _DONE_EPS = 1e-9
@@ -202,62 +202,28 @@ class SimulationEngine:
             else [],
         )
 
+    def stepper(self) -> "SimulationStepper":
+        """A tick-at-a-time cursor over this engine's run loop.
+
+        Construction performs everything :meth:`run` does before its
+        first step — :meth:`prepare`, ``runtime.start()`` and the sink
+        ``open`` — in the same order, so driving the stepper to
+        completion is bit-identical to :meth:`run` (which is itself
+        implemented on top of it).  External coordinators (the cluster
+        engine) interleave ticks of several steppers to co-simulate
+        multiple nodes in lockstep.
+        """
+        return SimulationStepper(self)
+
     def run(self) -> RunResult:
         """Execute the application(s) to completion on every socket."""
-        ctx = self.prepare()
-        socket_apps = ctx.socket_apps
-        sink = ctx.sink
-        injector = ctx.injector
-        runtime = ctx.runtime
-        runtime.start()
-
-        progress = [_SocketProgress() for _ in range(self.machine.socket_count)]
-        now = 0.0
-        dt = self.engine_cfg.dt_s
-
-        if sink is not None:
-            sink.open(self.machine.socket_count)
+        stepper = self.stepper()
         try:
-            while any(p.finish_time_s is None for p in progress):
-                if now >= self.engine_cfg.max_sim_time_s:
-                    raise SimulationError(
-                        f"simulation exceeded {self.engine_cfg.max_sim_time_s}s "
-                        f"(application {self.application!r} stuck?)"
-                    )
-                for sid, proc in enumerate(self.machine.processors):
-                    self._advance_socket(
-                        proc, socket_apps[sid], progress[sid], now, dt
-                    )
-                    if sink is not None:
-                        s = proc.state
-                        sink.record(
-                            sid,
-                            TraceSample(
-                                time_s=s.time_s,
-                                core_freq_hz=s.core_freq_hz,
-                                uncore_freq_hz=s.uncore_freq_hz,
-                                package_power_w=s.package.total_w,
-                                dram_power_w=s.dram_power_w,
-                                cap_w=proc.rapl.pl1.limit_w,
-                                flops_rate=s.flops_rate,
-                                bytes_rate=s.bytes_rate,
-                                temperature_c=s.temperature_c,
-                            ),
-                        )
-                now += dt
-                if injector is not None:
-                    injector.advance(now)
-                runtime.on_time(now)
+            while not stepper.done:
+                stepper.tick()
         finally:
-            if sink is not None:
-                sink.close()
-
-        assert all(p.finish_time_s is not None for p in progress)
-        return self.collect(
-            ctx,
-            [p.finish_time_s for p in progress],  # type: ignore[misc]
-            [p.spans for p in progress],
-        )
+            stepper.close()
+        return stepper.result()
 
     # -- one socket, one macro step ------------------------------------------------
 
@@ -299,3 +265,88 @@ class SimulationEngine:
                 p.phase_index += 1
                 p.fraction_done = 0.0
                 p.phase_start_s = end
+
+
+class SimulationStepper:
+    """One engine's run loop, exposed one macro step at a time.
+
+    Wraps exactly the state :meth:`SimulationEngine.run` used to keep
+    on its stack — the :class:`RunContext`, per-socket progress
+    cursors and the simulation clock — so a single ``tick()`` advances
+    simulated time by one ``dt`` with the contractual operation order
+    (advance + record every socket, then the clock, then fault
+    injection, then controller ticks).  ``run()`` drives a stepper to
+    completion; the cluster engine instead interleaves the ticks of
+    one stepper per node, pausing nodes that finished, which is what
+    makes a 1-node cluster bit-identical to a plain run.
+    """
+
+    def __init__(self, engine: SimulationEngine):
+        self.engine = engine
+        self.ctx = engine.prepare()
+        self.ctx.runtime.start()
+        self.progress = [
+            _SocketProgress() for _ in range(engine.machine.socket_count)
+        ]
+        self.now = 0.0
+        self._closed = False
+        if self.ctx.sink is not None:
+            self.ctx.sink.open(engine.machine.socket_count)
+
+    @property
+    def done(self) -> bool:
+        """True once every socket has finished its phase list."""
+        return all(p.finish_time_s is not None for p in self.progress)
+
+    def tick(self) -> None:
+        """Advance simulated time by one engine step (``dt_s``)."""
+        engine = self.engine
+        ctx = self.ctx
+        sink = ctx.sink
+        if self.now >= engine.engine_cfg.max_sim_time_s:
+            raise SimulationError(
+                f"simulation exceeded {engine.engine_cfg.max_sim_time_s}s "
+                f"(application {engine.application!r} stuck?)"
+            )
+        dt = engine.engine_cfg.dt_s
+        for sid, proc in enumerate(engine.machine.processors):
+            engine._advance_socket(
+                proc, ctx.socket_apps[sid], self.progress[sid], self.now, dt
+            )
+            if sink is not None:
+                s = proc.state
+                sink.record(
+                    sid,
+                    TraceSample(
+                        time_s=s.time_s,
+                        core_freq_hz=s.core_freq_hz,
+                        uncore_freq_hz=s.uncore_freq_hz,
+                        package_power_w=s.package.total_w,
+                        dram_power_w=s.dram_power_w,
+                        cap_w=proc.rapl.pl1.limit_w,
+                        flops_rate=s.flops_rate,
+                        bytes_rate=s.bytes_rate,
+                        temperature_c=s.temperature_c,
+                    ),
+                )
+        self.now += dt
+        if ctx.injector is not None:
+            ctx.injector.advance(self.now)
+        ctx.runtime.on_time(self.now)
+
+    def close(self) -> None:
+        """Close the sink exactly once (idempotent, exception-safe)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.ctx.sink is not None:
+            self.ctx.sink.close()
+
+    def result(self) -> RunResult:
+        """Assemble the run result; only valid once :attr:`done`."""
+        assert all(p.finish_time_s is not None for p in self.progress)
+        return self.engine.collect(
+            self.ctx,
+            [p.finish_time_s for p in self.progress],  # type: ignore[misc]
+            [p.spans for p in self.progress],
+        )

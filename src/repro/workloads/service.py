@@ -1,0 +1,93 @@
+"""Co-located datacenter traffic: a latency-sensitive WEB service and
+a throughput BATCH analytics job.
+
+The paper evaluates single-node HPC workloads; the cluster harness
+needs traffic where *whose* jobs slow down matters, not just by how
+much.  These two builders model the canonical co-location study pair
+(latency-critical service + best-effort batch, as in power-capped
+cluster managers): WEB's request loop is dominated by short
+latency-sensitive phases that pay disproportionately when the uncore
+or power cap drops, while BATCH streams through memory at high
+bandwidth and tolerates throttling almost linearly.  Running them on
+different nodes under one fleet budget makes the fairness index and
+p99 slowdown metrics of :mod:`repro.cluster` discriminating: a fleet
+policy that starves the WEB node shows up immediately.
+
+They live in a *service* catalog separate from
+:data:`~repro.workloads.catalog.APPLICATIONS` because the paper's
+figures — and the tests pinning them — enumerate exactly the ten HPC
+applications; service workloads resolve through the same
+:func:`~repro.workloads.catalog.build_application` without widening
+``application_names()``.
+"""
+
+from __future__ import annotations
+
+from ..config import SocketConfig
+from .application import Application
+from .phase import phase_from_duration as pfd
+
+__all__ = ["web", "batch"]
+
+
+def web(scale: float = 1.0, socket: SocketConfig | None = None) -> Application:
+    """Latency-sensitive request serving: short hot loops, cache churn.
+
+    Request handling alternates sub-interval compute bursts (protocol
+    parsing, templating — latency-bound on the uncore) with pointer-
+    chasing lookups.  High ``latency_sensitivity`` means a lowered cap
+    stretches the service time directly, which is exactly the tail the
+    cluster harness's p99 slowdown metric is meant to expose.
+    """
+    loop = [
+        pfd(
+            "web.serve",
+            0.12 * scale,
+            oi=1.2,
+            fpc=3.0,
+            latency_sensitivity=0.55,
+            uncore_sensitivity=0.35,
+            socket=socket,
+        ),
+        pfd(
+            "web.lookup",
+            0.08 * scale,
+            oi=0.10,
+            fpc=0.6,
+            latency_sensitivity=0.45,
+            socket=socket,
+        ),
+    ]
+    return Application.from_pattern(
+        "WEB",
+        loop=loop,
+        iterations=110,
+        structure="110 request bursts of serve (OI 1.2, latency-bound) + lookup (OI 0.1)",
+    )
+
+
+def batch(scale: float = 1.0, socket: SocketConfig | None = None) -> Application:
+    """Best-effort analytics: long scans, streaming memory traffic.
+
+    A scan/aggregate loop whose OI stays deep in the memory-bound
+    regime — the profile DUFP caps hardest for the least slowdown, so
+    a demand-driven fleet policy should shift budget *away* from this
+    node toward co-located latency-sensitive traffic.
+    """
+    loop = [
+        pfd(
+            "batch.scan",
+            1.10 * scale,
+            oi=0.04,
+            fpc=0.6,
+            power_boost=1.05,
+            socket=socket,
+        ),
+        pfd("batch.aggregate", 0.35 * scale, oi=0.9, fpc=2.5, socket=socket),
+    ]
+    return Application.from_pattern(
+        "BATCH",
+        loop=loop,
+        iterations=16,
+        structure="16 scan/aggregate passes; memory-streaming (OI 0.04) dominated",
+    )

@@ -26,6 +26,7 @@ PUBLIC_MODULES = [
     "repro.papi",
     "repro.workloads",
     "repro.core",
+    "repro.cluster",
     "repro.sim",
     "repro.sim.faults",
     "repro.sim.hetero",

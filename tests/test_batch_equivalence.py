@@ -252,11 +252,16 @@ MATRIX_PLANS = {"clean": None, "faults": PLAN}
 @pytest.mark.parametrize("app", MATRIX_APPS)
 @pytest.mark.parametrize("plan_name", sorted(MATRIX_PLANS))
 @pytest.mark.parametrize(
-    # Hetero split policies build SplitPolicy objects for the hetero
-    # engine, not per-socket controller factories; their scalar-vs-batch
-    # behaviour is covered by the hetero suites.
+    # Hetero split and fleet partitioning policies build budget-split
+    # objects for the hetero/cluster engines, not per-socket controller
+    # factories; their scalar-vs-batch behaviour is covered by the
+    # hetero and cluster suites.
     "policy",
-    [n for n in policy_names() if not policy_info(n).hetero],
+    [
+        n
+        for n in policy_names()
+        if not policy_info(n).hetero and not policy_info(n).fleet
+    ],
 )
 def test_matrix_equivalence(policy, app, plan_name):
     """Every registered CPU policy × workload sample × fault plan."""

@@ -1,0 +1,258 @@
+"""Property-based tests on the fleet policies and the cluster engine.
+
+Randomised fleets — policy, budget, node bands, demand bids, node
+count, seeds — check the invariants any hierarchical capping run must
+preserve:
+
+* global budget conservation: ``sum(alloc) <= budget`` at every
+  allocation the policies emit and every re-partition the engine
+  records;
+* band respect: every node allocation stays inside
+  ``[floor_i, ceiling_i]``;
+* permutation equivariance: node identity carries no weight —
+  permuting the bids permutes the allocations identically;
+* the fleet-fair bound: every node receives the *same* fraction of
+  its floor-to-ceiling range;
+* determinism: the same seed replays a cluster run to identical
+  allocations, makespans, energies and fault draws.
+
+Policy properties run pure allocations (cheap, many examples); the
+engine sweeps simulate short full runs and keep few examples.  A
+deterministic smoke case keeps tier-1 coverage of every property.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import ClusterEngine, ClusterSpec
+from repro.config import ControllerConfig, NoiseConfig
+from repro.core.registry import fleet_policy, make_spec
+from repro.errors import ReproError
+from repro.sim.faults import FaultPlan
+from repro.workloads.catalog import build_application
+
+POLICIES = ("fleet-static", "fleet-demand", "fleet-fair")
+CFG = ControllerConfig(tolerated_slowdown=0.10)
+
+ENGINE_SWEEP = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Node bands: floors in [40, 80], spans in [10, 120] — every band is
+#: non-degenerate and floors never exceed ceilings.
+bands = st.lists(
+    st.tuples(
+        st.floats(min_value=40.0, max_value=80.0),
+        st.floats(min_value=10.0, max_value=120.0),
+    ),
+    min_size=1,
+    max_size=8,
+).map(lambda rows: ([lo for lo, _ in rows], [lo + w for lo, w in rows]))
+
+
+def _fleet(policy, budget):
+    return fleet_policy(make_spec(policy, budget_w=budget), CFG)
+
+
+def _bids(floors, ceilings, fractions):
+    return [
+        lo + f * (hi - lo)
+        for lo, hi, f in zip(floors, ceilings, fractions)
+    ]
+
+
+@pytest.mark.slow
+class TestPolicyInvariants:
+    @given(
+        policy=st.sampled_from(POLICIES),
+        b=bands,
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=8, max_size=8
+        ),
+        extra=st.floats(min_value=0.0, max_value=400.0),
+    )
+    @settings(max_examples=100)
+    def test_budget_conserved_and_bands_respected(
+        self, policy, b, fractions, extra
+    ):
+        floors, ceilings = b
+        budget = sum(floors) + extra
+        fleet = _fleet(policy, budget)
+        bids = _bids(floors, ceilings, fractions[: len(floors)])
+        for alloc in (
+            fleet.initial(floors, ceilings),
+            fleet.allocate(bids, floors, ceilings),
+        ):
+            assert len(alloc) == len(floors)
+            assert sum(alloc) <= budget + 1e-6
+            for a, lo, hi in zip(alloc, floors, ceilings):
+                assert lo - 1e-9 <= a <= hi + 1e-9
+                assert math.isfinite(a)
+
+    @given(
+        policy=st.sampled_from(POLICIES),
+        lo=st.floats(min_value=40.0, max_value=80.0),
+        width=st.floats(min_value=10.0, max_value=120.0),
+        n=st.integers(min_value=2, max_value=8),
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=8, max_size=8
+        ),
+        extra=st.floats(min_value=0.0, max_value=300.0),
+        shift=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=100)
+    def test_allocation_is_permutation_equivariant(
+        self, policy, lo, width, n, fractions, extra, shift
+    ):
+        # Uniform bands isolate the bid permutation: node identity must
+        # carry no weight, so rotating the bids rotates the allocation.
+        floors, ceilings = [lo] * n, [lo + width] * n
+        budget = sum(floors) + extra
+        fleet = _fleet(policy, budget)
+        bids = _bids(floors, ceilings, fractions[:n])
+        k = shift % n
+        rotated = bids[k:] + bids[:k]
+        alloc = fleet.allocate(bids, floors, ceilings)
+        alloc_rotated = fleet.allocate(rotated, floors, ceilings)
+        assert alloc_rotated == pytest.approx(alloc[k:] + alloc[:k])
+
+    @given(
+        b=bands,
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=8, max_size=8
+        ),
+        extra=st.floats(min_value=0.0, max_value=400.0),
+    )
+    @settings(max_examples=100)
+    def test_fleet_fair_grants_equal_range_fractions(
+        self, b, fractions, extra
+    ):
+        floors, ceilings = b
+        budget = sum(floors) + extra
+        fleet = _fleet("fleet-fair", budget)
+        bids = _bids(floors, ceilings, fractions[: len(floors)])
+        alloc = fleet.allocate(bids, floors, ceilings)
+        granted = [
+            (a - lo) / (hi - lo)
+            for a, lo, hi in zip(alloc, floors, ceilings)
+        ]
+        assert max(granted) - min(granted) < 1e-9
+
+    @given(b=bands)
+    @settings(max_examples=50)
+    def test_floors_above_budget_raise(self, b):
+        floors, ceilings = b
+        budget = sum(floors) - 1.0
+        for policy in POLICIES:
+            with pytest.raises(ReproError):
+                _fleet(policy, budget).allocate(
+                    list(ceilings), floors, ceilings
+                )
+
+
+# -- engine sweeps ------------------------------------------------------
+
+plans = st.sampled_from(
+    [None, FaultPlan(msr_read_fail_rate=0.05, cap_latch_fail_rate=0.10)]
+)
+
+members = st.tuples(
+    st.sampled_from(POLICIES),
+    # Budgets cover three 65 W node floors (195 W) but sit below three
+    # 125 W ceilings (375 W), so the fleet layer genuinely arbitrates.
+    st.sampled_from((200.0, 260.0, 320.0)),  # budget
+    st.integers(min_value=1, max_value=3),  # node_count
+    st.sampled_from(((), ("EP", "CG"), ("WEB", "BATCH"))),  # node_apps
+    st.integers(min_value=0, max_value=10_000),  # seed
+    plans,
+)
+
+
+def _build(policy, budget, node_count, node_apps, seed, plan):
+    cluster = ClusterSpec(
+        node_count=node_count, node_apps=node_apps, period_s=0.5
+    )
+    apps = [
+        build_application(cluster.app_for(i, "EP"), scale=0.1)
+        for i in range(node_count)
+    ]
+    return ClusterEngine(
+        applications=apps,
+        cluster=cluster,
+        policy=_fleet(policy, budget),
+        controller_cfg=CFG,
+        noise=NoiseConfig(),
+        seed=seed,
+        faults=plan,
+    )
+
+
+def _signature(result):
+    return (
+        tuple(result.node_makespans_s),
+        result.package_energy_j,
+        result.dram_energy_j,
+        tuple(result.allocations),
+        tuple(
+            (e.time_s, e.socket_id, e.channel, e.detail)
+            for e in result.fault_events
+        ),
+    )
+
+
+def check_invariants(member, result):
+    policy, budget, node_count, _, _, _ = member
+    floor = CFG.cap_floor_w
+    ceiling = 125.0
+    assert len(result.nodes) == node_count
+    assert all(math.isfinite(m) and m > 0 for m in result.node_makespans_s)
+    assert result.total_energy_j > 0
+    assert result.allocations
+    for _, alloc in result.allocations:
+        assert len(alloc) == node_count
+        assert sum(alloc) <= budget + 1e-6
+        for a in alloc:
+            assert floor - 1e-9 <= a <= ceiling + 1e-9
+    if policy in ("fleet-static", "fleet-fair"):
+        assert len(result.allocations) == 1  # static: decided once
+    assert all(s >= 1.0 - 0.05 for s in result.slowdowns)  # jitter slack
+    assert 0.0 < result.fairness_index <= 1.0
+    assert result.p99_slowdown >= min(result.slowdowns)
+
+
+@pytest.mark.slow
+@given(m=members)
+@ENGINE_SWEEP
+def test_random_cluster_runs_conserve_the_budget(m):
+    check_invariants(m, _build(*m).run())
+
+
+@pytest.mark.slow
+@given(m=members)
+@ENGINE_SWEEP
+def test_same_seed_replays_identically(m):
+    assert _signature(_build(*m).run()) == _signature(_build(*m).run())
+
+
+def test_smoke_properties_deterministic():
+    """Tier-1 pin of every property on fixed mixed members."""
+    comp = [
+        ("fleet-demand", 150.0, 2, ("WEB", "BATCH"), 11, None),
+        ("fleet-static", 200.0, 3, ("EP", "CG"), 22, None),
+        (
+            "fleet-fair",
+            260.0,
+            2,
+            (),
+            33,
+            FaultPlan(msr_read_fail_rate=0.05, cap_latch_fail_rate=0.10),
+        ),
+    ]
+    for m in comp:
+        result = _build(*m).run()
+        check_invariants(m, result)
+        assert _signature(result) == _signature(_build(*m).run())

@@ -15,6 +15,7 @@ import random
 
 import pytest
 
+from repro.cluster.spec import ClusterSpec
 from repro.config import NoiseConfig
 from repro.errors import ExperimentError
 from repro.experiments.cache import ResultCache
@@ -324,6 +325,80 @@ class TestHeteroSharding:
         assert warm_summary.hits == len(mixed)
         for s, w in zip(serial, warm):
             assert s.times_s == w.times_s
+
+
+CLUSTER_GRID = dict(
+    apps=["CG"],
+    tolerances_pct=(0.0,),
+    runs=2,
+    app_scale=0.15,
+    noise=QUIET,
+    controllers=("fleet-demand:budget_w=160", "fleet-fair:budget_w=160"),
+    cluster=ClusterSpec(node_count=2, node_apps=("EP", "CG")),
+)
+
+
+class TestClusterSharding:
+    def test_cluster_sweep_rejects_per_socket_controllers(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            sweep_specs(
+                **{**CLUSTER_GRID, "controllers": ("duf", "fleet-demand")}
+            )
+        assert "duf" in str(excinfo.value)
+
+    def test_cluster_estimate_sums_per_node_app_ticks(self):
+        # LPT weight of a multi-node cell: runs × Σ_nodes(spn × node-app
+        # ticks) — each node's *own* application, not app_name × nodes.
+        spec = small_spec(
+            app_name="CG",
+            controller="fleet-demand",
+            cluster=ClusterSpec(node_count=2, node_apps=("EP", "CG")),
+        )
+        ep = small_spec(app_name="EP")
+        cg = small_spec(app_name="CG")
+        expected = (
+            estimate_spec_ticks(ep) + estimate_spec_ticks(cg)
+        )  # same runs/scale, spn=1
+        assert estimate_spec_ticks(spec) == pytest.approx(expected)
+        # Sockets per node multiply the weight.
+        wide = small_spec(
+            app_name="CG",
+            controller="fleet-demand",
+            cluster=ClusterSpec(
+                node_count=2, node_apps=("EP", "CG"), sockets_per_node=2
+            ),
+        )
+        assert estimate_spec_ticks(wide) == pytest.approx(2 * expected)
+        # A homogeneous 3-node cell weighs 3× its single-node twin.
+        homo = small_spec(
+            app_name="EP",
+            controller="fleet-demand",
+            cluster=ClusterSpec(node_count=3),
+        )
+        assert estimate_spec_ticks(homo) == pytest.approx(
+            3 * estimate_spec_ticks(ep)
+        )
+
+    def test_sharded_cluster_sweep_bit_identical_to_serial(self):
+        serial = run_sweep(**CLUSTER_GRID)
+        sharded = run_sweep(**CLUSTER_GRID, workers=2, shard_size=1)
+        assert serial.comparisons.keys() == sharded.comparisons.keys()
+        for key in serial.comparisons:
+            a, b = serial.comparisons[key], sharded.comparisons[key]
+            assert a.slowdown_pct == b.slowdown_pct
+            assert a.energy_savings_pct == b.energy_savings_pct
+        assert sharded.execution.shard_count == sharded.execution.executed == 3
+
+    def test_cluster_cells_cache_and_warm_rerun(self, tmp_path):
+        specs, _ = sweep_specs(**CLUSTER_GRID)
+        cache = ResultCache(tmp_path)
+        _, summary = run_specs(specs, workers=2, shard_size=1, cache=cache)
+        assert summary.executed == len(specs)
+        for spec in specs:
+            assert spec_key(spec) in cache
+        _, warm = run_specs(specs, workers=2, cache=cache)
+        assert warm.executed == 0
+        assert warm.hits == len(specs)
 
 
 class TestCacheV2:
